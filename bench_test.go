@@ -1,0 +1,408 @@
+package procmine
+
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations of the design choices called out in DESIGN.md. Absolute
+// numbers differ from the paper's RS/6000 250 workstation; the shapes
+// (linear scaling in the number of executions, mild growth with graph size,
+// exact recovery) are the reproduction targets. Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/experiments"
+	"procmine/internal/flowmark"
+	"procmine/internal/graph"
+	"procmine/internal/noise"
+	"procmine/internal/synth"
+	"procmine/internal/wlog"
+)
+
+// syntheticLog builds one Table 1 workload: a random n-vertex DAG at the
+// paper's edge density and m simulated executions.
+func syntheticLog(b *testing.B, n, m int) (*graph.Digraph, *wlog.Log) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*100003 + int64(m)))
+	g := synth.RandomDAG(rng, n, synth.PaperEdgeProb(n))
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, sim.GenerateLog("b_", m)
+}
+
+// BenchmarkTable1Mine measures Algorithm 2 over the Table 1 sweep
+// (n ∈ {10, 25, 50, 100} × m ∈ {100, 1000, 10000}). The m=10000 cells are
+// the paper's largest workloads; -short skips them.
+func BenchmarkTable1Mine(b *testing.B) {
+	ms := []int{100, 1000, 10000}
+	if testing.Short() {
+		ms = []int{100, 1000}
+	}
+	for _, n := range []int{10, 25, 50, 100} {
+		for _, m := range ms {
+			_, l := syntheticLog(b, n, m)
+			b.Run(fmt.Sprintf("n=%d/m=%d", n, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MineGeneralDAG(l, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Recovery measures the full generate+mine+compare pipeline
+// that produces a Table 2 cell, and reports edge recovery as custom metrics.
+func BenchmarkTable2Recovery(b *testing.B) {
+	for _, n := range []int{10, 25, 50} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ref, l := syntheticLog(b, n, 1000)
+			var found, present int
+			for i := 0; i < b.N; i++ {
+				mined, err := core.MineGeneralDAG(l, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				found, present = mined.NumEdges(), ref.NumEdges()
+			}
+			b.ReportMetric(float64(present), "edges_present")
+			b.ReportMetric(float64(found), "edges_found")
+		})
+	}
+}
+
+// BenchmarkTable3 measures mining each Flowmark replica's paper-sized log.
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range flowmark.ProcessNames() {
+		p, err := flowmark.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(1998)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := eng.GenerateLog("b_", flowmark.PaperExecutions[name], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineGeneralDAG(l, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Graph10 measures the Figure 7 experiment: 100 executions
+// of Graph10 mined back to the exact graph.
+func BenchmarkFigure7Graph10(b *testing.B) {
+	g := synth.Graph10Canonical()
+	sim, err := synth.NewSimulator(g, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := sim.GenerateLog("b_", 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mined, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !graph.Compare(g, mined).Equal() {
+			b.Fatal("Graph10 not recovered")
+		}
+	}
+}
+
+// BenchmarkFigures8to12 measures mining plus DOT rendering for the five
+// process figures.
+func BenchmarkFigures8to12(b *testing.B) {
+	res, err := experiments.RunFlowmark(experiments.FlowmarkConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingDiscard
+		if err := res.WriteFigures(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingDiscard struct{ n int }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkNoiseThresholded measures Section 6: corrupting a chain log and
+// mining it with the closed-form threshold.
+func BenchmarkNoiseThresholded(b *testing.B) {
+	const m = 200
+	l := LogFromStrings()
+	for i := 0; i < m; i++ {
+		l.Executions = append(l.Executions, FromSequence(fmt.Sprintf("n%04d", i), "A", "B", "C", "D", "E"))
+	}
+	c := noise.NewCorruptor(rand.New(rand.NewSource(9)))
+	noisy := c.SwapAdjacent(l, 0.05)
+	T, err := noise.ThresholdFor(m, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MineGeneralDAG(noisy, core.Options{MinSupport: T}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConditionsLearning measures Section 7: learning all edge
+// conditions of the StressSleep replica from a 300-execution log.
+func BenchmarkConditionsLearning(b *testing.B) {
+	p, err := flowmark.Get("StressSleep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(10)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := eng.GenerateLog("b_", 300, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LearnConditions(l, p.Graph, TreeConfig{MinLeaf: 5})
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationTransitiveReduction compares the Appendix Algorithm 4
+// bitset reduction against the naive per-edge reachability baseline.
+func BenchmarkAblationTransitiveReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{50, 150} {
+		g := randomDenseDAG(rng, n, 0.4)
+		b.Run(fmt.Sprintf("algo4/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.TransitiveReduction(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.TransitiveReductionNaive(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func randomDenseDAG(rng *rand.Rand, n int, p float64) *graph.Digraph {
+	g := graph.New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("v%03d", i)
+		g.AddVertex(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(names[i], names[j])
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkAblationAlg1VsAlg2 compares Algorithm 1 against Algorithm 2 on a
+// special-form log (where both apply): Algorithm 1 skips the per-execution
+// marking pass and should win.
+func BenchmarkAblationAlg1VsAlg2(b *testing.B) {
+	// Full executions of a 20-activity partial order, random interleavings.
+	rng := rand.New(rand.NewSource(12))
+	var l wlog.Log
+	acts := make([]string, 20)
+	for i := range acts {
+		acts[i] = fmt.Sprintf("t%02d", i)
+	}
+	for i := 0; i < 500; i++ {
+		// Random order that respects t0 first, t19 last.
+		mid := append([]string(nil), acts[1:19]...)
+		rng.Shuffle(len(mid), func(a, c int) { mid[a], mid[c] = mid[c], mid[a] })
+		seq := append([]string{acts[0]}, append(mid, acts[19])...)
+		l.Executions = append(l.Executions, wlog.FromSequence(fmt.Sprintf("x%04d", i), seq...))
+	}
+	b.Run("alg1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineSpecialDAG(&l, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alg2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineGeneralDAG(&l, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMarkingOverhead isolates steps 5-6 of Algorithm 2 (the
+// per-execution transitive reductions) by comparing the full algorithm with
+// the dependency-graph-only prefix (steps 1-4).
+func BenchmarkAblationMarkingOverhead(b *testing.B) {
+	_, l := syntheticLog(b, 50, 1000)
+	b.Run("steps1to4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.ComputeDependencies(l, core.Options{}).Graph()
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineGeneralDAG(l, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFollowsAccumulation compares the map-based pairwise-order
+// accumulator against the dense-matrix variant that production uses (the
+// dense path won this ablation and became the default in followsCounts).
+func BenchmarkAblationFollowsAccumulation(b *testing.B) {
+	_, l := syntheticLog(b, 50, 2000)
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.FollowsCountsMap(l)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.FollowsCounts(l)
+		}
+	})
+}
+
+// BenchmarkLogCodecs measures the three codecs on the same log.
+func BenchmarkLogCodecs(b *testing.B) {
+	_, l := syntheticLog(b, 25, 1000)
+	events := l.Events()
+	codecs := map[string]func() error{
+		"text": func() error { var s countingDiscard; return wlog.WriteText(&s, events) },
+		"csv":  func() error { var s countingDiscard; return wlog.WriteCSV(&s, events) },
+		"json": func() error { var s countingDiscard; return wlog.WriteJSON(&s, events) },
+	}
+	for _, name := range []string{"text", "csv", "json"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := codecs[name](); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalAdd measures the per-execution cost of the
+// incremental miner's state update (the model-evolution path).
+func BenchmarkIncrementalAdd(b *testing.B) {
+	_, l := syntheticLog(b, 25, 1)
+	exec := l.Executions[0]
+	im := core.NewIncrementalMiner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := im.Add(exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalMineVsBatch compares materializing the model from
+// incremental state against batch-mining the full log.
+func BenchmarkIncrementalMineVsBatch(b *testing.B) {
+	_, l := syntheticLog(b, 25, 1000)
+	im := core.NewIncrementalMiner()
+	for _, exec := range l.Executions {
+		if err := im.Add(exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := im.Mine(core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MineCyclic(l, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdaptiveThreshold measures the overhead of the per-pair adaptive
+// threshold against the plain and global-threshold paths.
+func BenchmarkAdaptiveThreshold(b *testing.B) {
+	_, l := syntheticLog(b, 50, 1000)
+	opts := map[string]core.Options{
+		"plain":    {},
+		"global":   {MinSupport: 100},
+		"adaptive": {AdaptiveEpsilon: 0.05},
+	}
+	for _, name := range []string{"plain", "global", "adaptive"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MineGeneralDAG(l, opts[name]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkXESCodec measures the XES encoder/decoder against a 1000-execution log.
+func BenchmarkXESCodec(b *testing.B) {
+	_, l := syntheticLog(b, 25, 1000)
+	var encoded bytes.Buffer
+	if err := wlog.WriteXES(&encoded, l); err != nil {
+		b.Fatal(err)
+	}
+	data := encoded.Bytes()
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink countingDiscard
+			if err := wlog.WriteXES(&sink, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wlog.ReadXES(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

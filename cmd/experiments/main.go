@@ -1,0 +1,224 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section from the synthetic and Flowmark-replica substrates.
+//
+// Usage:
+//
+//	experiments -run all            # everything (full Table 1 sweep is slow)
+//	experiments -run table1 -quick  # reduced sweep
+//	experiments -run table3
+//	experiments -run figure7
+//	experiments -run figures8to12
+//	experiments -run noise
+//	experiments -run conditions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"procmine/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		which = fs.String("run", "all", "experiment: all, table1, table2, table3, figure7, figures8to12, noise, conditions, scaling, robustness, examples, baseline, alphacompare, openproblem")
+		quick = fs.Bool("quick", false, "reduced parameters (smaller sweeps, fewer trials)")
+		seed  = fs.Int64("seed", 1998, "PRNG seed")
+		io    = fs.Bool("io", false, "table1/table2: include disk read+assemble in the timing (the paper's setup)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := os.Stdout
+
+	wants := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if wants("table1") || wants("table2") {
+		ran = true
+		cfg := experiments.SyntheticConfig{Seed: *seed, IncludeIO: *io}
+		if *quick {
+			cfg.Vertices = []int{10, 25, 50}
+			cfg.Executions = []int{100, 1000}
+		}
+		res, err := experiments.RunSynthetic(cfg)
+		if err != nil {
+			return err
+		}
+		if wants("table1") {
+			if err := res.WriteTable1(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		if wants("table2") {
+			if err := res.WriteTable2(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if wants("table3") || wants("figures8to12") {
+		ran = true
+		res, err := experiments.RunFlowmark(experiments.FlowmarkConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if wants("table3") {
+			if err := res.WriteTable3(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		if wants("figures8to12") {
+			if err := res.WriteFigures(w); err != nil {
+				return err
+			}
+		}
+	}
+
+	if wants("figure7") {
+		ran = true
+		cfg := experiments.Graph10Config{}
+		if !*quick {
+			cfg.CurvePoints = []int{50, 100, 200, 500, 1000}
+		}
+		res, err := experiments.RunGraph10(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("noise") {
+		ran = true
+		cfg := experiments.NoiseConfig{Seed: *seed}
+		if *quick {
+			cfg.Trials = 5
+			cfg.Epsilons = []float64{0.05, 0.2}
+		}
+		res, err := experiments.RunNoise(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("conditions") {
+		ran = true
+		cfg := experiments.ConditionsConfig{Seed: *seed}
+		if *quick {
+			cfg.TrainExecutions = 120
+			cfg.HoldoutExecutions = 60
+		}
+		res, err := experiments.RunConditions(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("scaling") {
+		ran = true
+		cfg := experiments.ScalingConfig{Seed: *seed}
+		if *quick {
+			cfg.Points = []int{250, 500, 1000, 2000}
+		}
+		res, err := experiments.RunScaling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("openproblem") {
+		ran = true
+		res, err := experiments.RunOpenProblem(*seed)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("alphacompare") {
+		ran = true
+		res, err := experiments.RunAlphaCompare(experiments.AlphaCompareConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("baseline") {
+		ran = true
+		cfg := experiments.BaselineConfig{}
+		if *quick {
+			cfg.MaxParallel = 5
+		}
+		res, err := experiments.RunBaseline(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wants("examples") {
+		ran = true
+		if err := experiments.WriteWorkedExamples(w); err != nil {
+			return err
+		}
+	}
+
+	if wants("robustness") {
+		ran = true
+		cfg := experiments.RobustnessConfig{Seed: *seed}
+		if *quick {
+			cfg.Rates = []float64{0.02, 0.1}
+			cfg.Trials = 3
+		}
+		res, err := experiments.RunRobustness(cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want all, table1, table2, table3, figure7, figures8to12, noise, conditions, scaling, robustness, examples, baseline, alphacompare, openproblem)", *which)
+	}
+	return nil
+}

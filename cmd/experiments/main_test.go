@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunQuickExperiments(t *testing.T) {
+	// Everything except the full Table 1 sweep, at quick settings. These
+	// exercise the dispatcher wiring; the experiment logic itself is tested
+	// in internal/experiments.
+	for _, which := range []string{"table3", "figure7", "noise", "conditions", "scaling", "figures8to12"} {
+		if err := run([]string{"-run", which, "-quick"}); err != nil {
+			t.Errorf("run %s: %v", which, err)
+		}
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-run", "table1", "-quick"}); err != nil {
+		t.Errorf("run table1: %v", err)
+	}
+	if err := run([]string{"-run", "table2", "-quick"}); err != nil {
+		t.Errorf("run table2: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-run", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-run", "all", "-quick"}); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	if err := run([]string{"-run", "table1", "-quick", "-io"}); err != nil {
+		t.Fatalf("run table1 -io: %v", err)
+	}
+}

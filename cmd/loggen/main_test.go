@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"procmine"
+)
+
+func TestRunRandomSource(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "random.txt")
+	if err := run([]string{"-source", "random", "-vertices", "12", "-m", "40", "-seed", "3", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	l, err := procmine.ReadLogFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 40 {
+		t.Fatalf("generated %d executions, want 40", l.Len())
+	}
+}
+
+func TestRunGraph10Source(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g10.csv")
+	if err := run([]string{"-source", "graph10", "-m", "25", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	l, err := procmine.ReadLogFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 25 {
+		t.Fatalf("generated %d executions, want 25", l.Len())
+	}
+	// Graph10 activities are START/END + B..I.
+	acts := l.Activities()
+	if acts[len(acts)-1] != "START" {
+		t.Fatalf("unexpected activities: %v", acts)
+	}
+}
+
+func TestRunFlowmarkSource(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fm.json")
+	if err := run([]string{"-source", "flowmark", "-process", "Pend_Block", "-m", "30", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	l, err := procmine.ReadLogFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 30 {
+		t.Fatalf("generated %d executions, want 30", l.Len())
+	}
+}
+
+func TestRunNoisyOutput(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.txt")
+	noisy := filepath.Join(dir, "noisy.txt")
+	if err := run([]string{"-source", "random", "-vertices", "8", "-m", "50", "-seed", "5", clean}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-source", "random", "-vertices", "8", "-m", "50", "-seed", "5", "-epsilon", "0.3", noisy}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := procmine.ReadLogFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := procmine.ReadLogFile(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := range a.Executions {
+		if a.Executions[i].String() != b.Executions[i].String() {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("epsilon=0.3 produced an identical log")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no output argument accepted")
+	}
+	if err := run([]string{"-source", "bogus", "out.txt"}); err == nil {
+		t.Error("bogus source accepted")
+	}
+	if err := run([]string{"-source", "flowmark", "-process", "bogus", "out.txt"}); err == nil {
+		t.Error("bogus process accepted")
+	}
+}
+
+func TestRunDefinitionSource(t *testing.T) {
+	dir := t.TempDir()
+	def := filepath.Join(dir, "proc.json")
+	doc := `{
+  "name": "Mini",
+  "start": "S",
+  "end": "E",
+  "edges": [
+    {"from": "S", "to": "A"},
+    {"from": "A", "to": "B", "condition": "o[0] >= 5"},
+    {"from": "A", "to": "E"},
+    {"from": "B", "to": "E"}
+  ],
+  "outputs": {"A": {"width": 1, "max": 10}}
+}`
+	if err := os.WriteFile(def, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "def.txt")
+	if err := run([]string{"-source", "definition", "-definition", def, "-m", "50", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	l, err := procmine.ReadLogFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 50 {
+		t.Fatalf("generated %d executions, want 50", l.Len())
+	}
+	// B must appear in some but not all executions (conditional branch).
+	withB := l.WithActivity("B").Len()
+	if withB == 0 || withB == 50 {
+		t.Fatalf("conditional activity B in %d of 50 executions", withB)
+	}
+	// Missing flag / file errors.
+	if err := run([]string{"-source", "definition", out}); err == nil {
+		t.Error("missing -definition accepted")
+	}
+	if err := run([]string{"-source", "definition", "-definition", filepath.Join(dir, "nope.json"), out}); err == nil {
+		t.Error("missing definition file accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Command procmine mines a process model graph from a workflow log file and
+// prints it as an adjacency listing or Graphviz DOT, optionally learning the
+// Boolean edge conditions from logged activity outputs.
+//
+// Usage:
+//
+//	procmine [-algorithm auto|special|dag|cyclic|alpha]
+//	         [-threshold T | -epsilon E] [-output text|layers|dot|bpmn]
+//	         [-conditions] [-check] [-support] [-verbose]
+//	         [-compare REF.adj] [-stats] [-name NAME] LOGFILE
+//
+// The log format is inferred from the file extension (.csv, .json, .xes, a
+// trailing .gz for gzip, or the space-separated text format otherwise);
+// "-" reads text-format events from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"procmine"
+
+	"procmine/internal/alpha"
+	"procmine/internal/bpmn"
+	"procmine/internal/core"
+	"procmine/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "procmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("procmine", flag.ContinueOnError)
+	var (
+		algorithm  = fs.String("algorithm", "auto", "mining algorithm: auto, special (Alg 1), dag (Alg 2), cyclic (Alg 3), alpha (baseline)")
+		threshold  = fs.Int("threshold", 0, "noise threshold T: ignore pairwise orders observed in fewer executions (Section 6)")
+		epsilon    = fs.Float64("epsilon", 0, "adaptive per-pair noise rate: derive each pair's threshold from its co-occurrence count (overrides -threshold)")
+		output     = fs.String("output", "text", "output format: text (adjacency), layers (ASCII), dot (Graphviz), or bpmn (BPMN 2.0 XML)")
+		learnConds = fs.Bool("conditions", false, "also learn Boolean edge conditions from activity outputs (Section 7)")
+		check      = fs.Bool("check", false, "verify the mined graph is conformal with the log (Definition 7)")
+		compare    = fs.String("compare", "", "reference graph file (adjacency format) to diff the mined graph against")
+		name       = fs.String("name", "Process", "graph name for DOT output")
+		stats      = fs.Bool("stats", false, "print log statistics and trace variants instead of mining")
+		verbose    = fs.Bool("verbose", false, "print the mining pipeline funnel (edges admitted/removed per stage)")
+		support    = fs.Bool("support", false, "annotate each mined edge with its log support and confidence")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one log file argument, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	var log *procmine.Log
+	var err error
+	if path == "-" {
+		log, err = procmine.ReadLog(os.Stdin, procmine.FormatText)
+	} else {
+		log, err = procmine.ReadLogFile(path)
+	}
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if err := log.Validate(); err != nil {
+		return fmt.Errorf("invalid log: %w", err)
+	}
+
+	if *stats {
+		st := log.ComputeStats()
+		fmt.Printf("executions: %d\nactivities: %d\nevents:     %d\nsteps/execution: min %d, mean %.1f, max %d\n",
+			st.Executions, st.Activities, st.Events, st.MinLen, st.MeanLen, st.MaxLen)
+		fmt.Println("\ntrace variants:")
+		for _, v := range log.Variants() {
+			fmt.Printf("  %6d  %s\n", v.Count, v.Sequence)
+		}
+		fmt.Println()
+		if err := log.WriteActivityStats(os.Stdout); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	opt := procmine.Options{MinSupport: *threshold, AdaptiveEpsilon: *epsilon}
+	var g *procmine.Graph
+	switch *algorithm {
+	case "auto":
+		if *verbose {
+			var diag *core.Diagnostics
+			g, diag, err = core.MineWithDiagnostics(log, opt)
+			if err == nil {
+				if derr := diag.WriteReport(os.Stderr); derr != nil {
+					return derr
+				}
+			}
+		} else {
+			g, err = procmine.Mine(log, opt)
+		}
+	case "special":
+		g, err = procmine.MineExact(log, opt)
+	case "dag":
+		g, err = procmine.MineDAG(log, opt)
+	case "cyclic":
+		g, err = procmine.MineCyclic(log, opt)
+	case "alpha":
+		net := alpha.Mine(log)
+		if err := net.WriteReport(os.Stderr); err != nil {
+			return err
+		}
+		g = net.CausalGraph()
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if err != nil {
+		return fmt.Errorf("mining: %w", err)
+	}
+
+	st := log.ComputeStats()
+	fmt.Fprintf(os.Stderr, "mined %d activities, %d edges from %d executions (%d events)\n",
+		g.NumVertices(), g.NumEdges(), st.Executions, st.Events)
+
+	edgeLabels := map[string]string{}
+	if *learnConds {
+		learned := procmine.LearnConditions(log, g, procmine.TreeConfig{MinLeaf: 5})
+		for e, le := range learned {
+			edgeLabels[e.String()] = le.Condition.String()
+		}
+	}
+
+	switch *output {
+	case "text":
+		if err := g.WriteAdjacency(os.Stdout); err != nil {
+			return err
+		}
+		if *support {
+			fmt.Println()
+			sup := core.Support(log, g)
+			for _, e := range g.Edges() {
+				s := sup[e]
+				fmt.Printf("%-30s ordered %d / co-occurring %d (confidence %.2f)\n",
+					e.String(), s.Ordered, s.CoOccur, s.Confidence())
+			}
+		}
+		if *learnConds {
+			fmt.Println()
+			for _, e := range g.Edges() {
+				fmt.Printf("f(%s) = %s\n", e, edgeLabels[e.String()])
+			}
+		}
+	case "dot":
+		opts := graph.DotOptions{Name: *name, Rankdir: "LR"}
+		if *learnConds {
+			opts.EdgeLabels = edgeLabels
+		}
+		if err := g.WriteDot(os.Stdout, opts); err != nil {
+			return err
+		}
+	case "layers":
+		if err := g.WriteLayers(os.Stdout); err != nil {
+			return err
+		}
+	case "bpmn":
+		var start, end string
+		if len(log.Executions) > 0 {
+			start = log.Executions[0].First()
+			end = log.Executions[0].Last()
+		}
+		bopts := bpmn.Options{ProcessID: *name, Start: start, End: end}
+		if *learnConds {
+			bopts.Conditions = map[procmine.Edge]string{}
+			for _, e := range g.Edges() {
+				if l := edgeLabels[e.String()]; l != "" && l != "true" {
+					bopts.Conditions[e] = l
+				}
+			}
+		}
+		if err := bpmn.Write(os.Stdout, g, bopts); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown output format %q", *output)
+	}
+
+	if *check {
+		var start, end string
+		if len(log.Executions) > 0 {
+			start = log.Executions[0].First()
+			end = log.Executions[0].Last()
+		}
+		rep := procmine.Check(g, log, start, end, opt)
+		fmt.Fprintf(os.Stderr, "conformance: %s\n", rep.Summary())
+		if !rep.Conformal() {
+			fit := procmine.Fitness(g, start, end, log)
+			_ = fit.WriteReport(os.Stderr)
+			return fmt.Errorf("mined graph is not conformal with the log")
+		}
+	}
+
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			return fmt.Errorf("opening reference graph: %w", err)
+		}
+		ref, err := procmine.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing reference graph: %w", err)
+		}
+		d := procmine.Compare(ref, g)
+		if d.Equal() {
+			fmt.Fprintln(os.Stderr, "compare: mined graph equals the reference")
+		} else {
+			fmt.Fprintf(os.Stderr, "compare: precision %.3f recall %.3f\n", d.Precision(), d.Recall())
+			for _, e := range d.MissingEdges {
+				fmt.Fprintf(os.Stderr, "compare: missing edge %v\n", e)
+			}
+			for _, e := range d.ExtraEdges {
+				fmt.Fprintf(os.Stderr, "compare: extra edge %v\n", e)
+			}
+			return fmt.Errorf("mined graph differs from reference (%d missing, %d extra edges)",
+				len(d.MissingEdges), len(d.ExtraEdges))
+		}
+	}
+	return nil
+}

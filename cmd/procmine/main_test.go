@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"procmine"
+)
+
+// writeExampleLog writes the Example 7 log to a temp file and returns the
+// path.
+func writeExampleLog(t *testing.T, dir, name string) string {
+	t.Helper()
+	l := procmine.LogFromStrings("ABCF", "ACDF", "ADEF", "AECF")
+	path := filepath.Join(dir, name)
+	if err := procmine.WriteLogFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMineText(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMineDotWithConditionsAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.csv")
+	if err := run([]string{"-output", "dot", "-conditions", "-check", "-name", "Ex7", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.txt")
+	if err := procmine.WriteLogFile(full, procmine.LogFromStrings("ABCDE", "ACDBE")); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"auto", "special", "dag", "cyclic"} {
+		if err := run([]string{"-algorithm", alg, full}); err != nil {
+			t.Errorf("algorithm %s: %v", alg, err)
+		}
+	}
+	partial := writeExampleLog(t, dir, "partial.txt")
+	if err := run([]string{"-algorithm", "special", partial}); err == nil {
+		t.Error("special algorithm accepted partial log")
+	}
+	if err := run([]string{"-algorithm", "bogus", partial}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if err := run([]string{"-output", "bogus", partial}); err == nil {
+		t.Error("bogus output format accepted")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+
+	// Build the expected reference by mining directly.
+	l, err := procmine.ReadLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := procmine.Mine(l, procmine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "ref.adj")
+	if err := os.WriteFile(ref, []byte(g.Adjacency()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", ref, path}); err != nil {
+		t.Fatalf("compare against exact reference: %v", err)
+	}
+
+	// A wrong reference must fail.
+	bad := filepath.Join(dir, "bad.adj")
+	if err := os.WriteFile(bad, []byte("A -> F\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", bad, path}); err == nil {
+		t.Fatal("compare against wrong reference succeeded")
+	}
+	if err := run([]string{"-compare", filepath.Join(dir, "missing.adj"), path}); err == nil {
+		t.Fatal("compare against missing reference succeeded")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"/does/not/exist.txt"}); err == nil {
+		t.Error("missing log file accepted")
+	}
+	dir := t.TempDir()
+	badLog := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badLog, []byte("p A START\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{badLog}); err == nil {
+		t.Error("malformed log accepted")
+	}
+}
+
+func TestRunBPMNOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	if err := run([]string{"-output", "bpmn", "-name", "Ex7", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-output", "bpmn", "-conditions", "-support", path}); err != nil {
+		t.Fatalf("run with conditions: %v", err)
+	}
+}
+
+func TestRunLayersOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	if err := run([]string{"-output", "layers", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAlphaAlgorithm(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	if err := run([]string{"-algorithm", "alpha", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSampleTestdata(t *testing.T) {
+	// The committed sample trail must mine to the Upload_and_Notify shape.
+	if err := run([]string{"-stats", "../../testdata/sample.csv"}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := run([]string{"-check", "-conditions", "../../testdata/sample.csv"}); err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	if err := run([]string{"-verbose", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+// Noisy-log scenario (Section 6): real audit trails contain out-of-order
+// reports. This example corrupts a clean log of a sequential deployment
+// process, shows that naive mining shatters the chain, and recovers it with
+// the paper's threshold rule ε → T.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"procmine"
+)
+
+func main() {
+	// A strictly sequential deployment pipeline.
+	steps := []string{"Checkout", "Build", "Unit_Test", "Package", "Deploy", "Smoke_Test"}
+	truth := procmine.NewGraph()
+	for i := 0; i+1 < len(steps); i++ {
+		truth.AddEdge(steps[i], steps[i+1])
+	}
+
+	const (
+		m       = 300
+		epsilon = 0.06 // 6% of adjacent pairs reported out of order
+	)
+	clean := &procmine.Log{}
+	for i := 0; i < m; i++ {
+		clean.Executions = append(clean.Executions,
+			procmine.FromSequence(fmt.Sprintf("run%03d", i), steps...))
+	}
+	corruptor := procmine.NewCorruptor(rand.New(rand.NewSource(7)))
+	noisy := corruptor.SwapAdjacent(clean, epsilon)
+
+	// Naive mining: the swapped orders make sequential steps look
+	// independent, so chain edges vanish.
+	naive, err := procmine.Mine(noisy, procmine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive mining of the noisy log (%d edges, want %d):\n", naive.NumEdges(), truth.NumEdges())
+	if err := naive.WriteAdjacency(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Thresholded mining: choose T from the error rate with the paper's
+	// balance rule, then ignore pairwise orders with fewer observations.
+	T, err := procmine.NoiseThreshold(m, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSection 6 threshold for m=%d, epsilon=%v: T=%d\n", m, epsilon, T)
+	robust, err := procmine.Mine(noisy, procmine.Options{MinSupport: T})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("thresholded mining of the same log:")
+	if err := robust.WriteAdjacency(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	d := procmine.Compare(truth, robust)
+	fmt.Printf("\npipeline recovered exactly despite the noise: %v\n", d.Equal())
+}

@@ -1,0 +1,3 @@
+module procmine
+
+go 1.22

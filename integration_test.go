@@ -1,0 +1,216 @@
+package procmine
+
+// Cross-package integration and property tests: the whole pipeline —
+// simulate → encode → decode → mine → check — over randomized workloads.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/synth"
+)
+
+// TestPropertyMinedGraphIsConformal: for random synthetic DAG workloads,
+// Algorithm 2's output is conformal (Definition 7) with its input log and
+// every execution is consistent (Definition 6) with it.
+func TestPropertyMinedGraphIsConformal(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	trial := 0
+	f := func(seedDelta int64) bool {
+		trial++
+		n := 5 + rng.Intn(15)
+		g := synth.RandomDAG(rng, n, 0.2+rng.Float64()*0.6)
+		sim, err := synth.NewSimulator(g, rand.New(rand.NewSource(seedDelta)))
+		if err != nil {
+			t.Logf("trial %d: simulator: %v", trial, err)
+			return false
+		}
+		l := sim.GenerateLog("p_", 20+rng.Intn(60))
+		mined, err := MineDAG(l, Options{})
+		if err != nil {
+			t.Logf("trial %d: mine: %v", trial, err)
+			return false
+		}
+		rep := Check(mined, l, synth.StartActivity, synth.EndActivity, Options{})
+		if !rep.Conformal() {
+			t.Logf("trial %d: %s", trial, rep.Summary())
+			for id, err := range rep.InconsistentExecutions {
+				t.Logf("  %s: %v", id, err)
+			}
+			for _, e := range rep.MissingDependencies {
+				t.Logf("  missing dependency %v", e)
+			}
+			for _, e := range rep.SpuriousPaths {
+				t.Logf("  spurious path %v", e)
+			}
+			return false
+		}
+		for _, exec := range l.Executions {
+			if err := Consistent(mined, synth.StartActivity, synth.EndActivity, exec); err != nil {
+				t.Logf("trial %d: %v", trial, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMiningDeterministic: mining is a pure function of the log.
+func TestPropertyMiningDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		g := synth.RandomDAG(rng, 5+rng.Intn(10), 0.5)
+		sim, err := synth.NewSimulator(g, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := sim.GenerateLog("d_", 30)
+		a, err := MineDAG(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MineDAG(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.EqualGraphs(a, b) {
+			t.Fatalf("trial %d: nondeterministic mining:\n%v\n%v", trial, a, b)
+		}
+	}
+}
+
+// TestPropertyMineExactMinimality: Algorithm 1's result is its own
+// transitive reduction (no redundant edges) and closure-equivalent to the
+// Algorithm 2 result on the same special-form log.
+func TestPropertyMineExactMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		// Random special-form log: permutations of a fixed alphabet
+		// respecting a random partial order (start/end pinned).
+		n := 4 + rng.Intn(6)
+		acts := make([]string, n)
+		for i := range acts {
+			acts[i] = fmt.Sprintf("t%d", i)
+		}
+		l := &Log{}
+		for i := 0; i < 10+rng.Intn(30); i++ {
+			mid := append([]string(nil), acts[1:n-1]...)
+			rng.Shuffle(len(mid), func(a, b int) { mid[a], mid[b] = mid[b], mid[a] })
+			seq := append([]string{acts[0]}, append(mid, acts[n-1])...)
+			l.Executions = append(l.Executions, FromSequence(fmt.Sprintf("e%d", i), seq...))
+		}
+		exact, err := MineExact(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := exact.TransitiveReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.EqualGraphs(exact, red) {
+			t.Fatalf("trial %d: Algorithm 1 result is not transitively reduced", trial)
+		}
+		general, err := MineDAG(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.SameClosure(general) {
+			t.Fatalf("trial %d: Algorithms 1 and 2 disagree on closure:\n%v\n%v", trial, exact, general)
+		}
+	}
+}
+
+// TestPropertyCodecsPreserveMining: a log surviving any codec round trip
+// mines to the identical graph.
+func TestPropertyCodecsPreserveMining(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	g := synth.RandomDAG(rng, 12, 0.5)
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := sim.GenerateLog("c_", 50)
+	want, err := MineDAG(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []LogFormat{FormatText, FormatCSV, FormatJSON, FormatXES} {
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, l, format); err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		back, err := ReadLog(&buf, format)
+		if err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		got, err := MineDAG(back, Options{})
+		if err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		if !graph.EqualGraphs(want, got) {
+			t.Fatalf("format %d changed the mined graph", format)
+		}
+	}
+}
+
+// TestPropertyCyclicExecutionsConsistent: Algorithm 3's output admits every
+// execution of its cyclic input log.
+func TestPropertyCyclicExecutionsConsistent(t *testing.T) {
+	logs := [][]string{
+		{"ABDCE", "ABDCBCE", "ABCBDCE", "ADE"},
+		{"ABCDE", "ABCDBCDE"},
+		{"ARPE", "ARVRPE", "ARVRVRPE"},
+	}
+	for _, seqs := range logs {
+		l := LogFromStrings(seqs...)
+		g, err := MineCyclic(l, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", seqs, err)
+		}
+		start := seqs[0][:1]
+		end := seqs[0][len(seqs[0])-1:]
+		for _, exec := range l.Executions {
+			if err := Consistent(g, start, end, exec); err != nil {
+				t.Errorf("log %v: execution %s: %v", seqs, exec, err)
+			}
+		}
+	}
+}
+
+// TestPropertyIncrementalEqualsBatchPublicAPI exercises the incremental
+// miner through randomized engine workloads.
+func TestPropertyIncrementalEqualsBatchPublicAPI(t *testing.T) {
+	p, err := FlowmarkProcess("StressSleep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := SimulateLog(p, 80, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := core.NewIncrementalMiner()
+	for _, exec := range l.Executions {
+		if err := im.Add(exec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc, err := im.Mine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := core.MineCyclic(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraphs(inc, batch) {
+		t.Fatalf("incremental differs from batch on engine log:\ninc:   %v\nbatch: %v", inc, batch)
+	}
+}

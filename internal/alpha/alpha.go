@@ -1,0 +1,291 @@
+// Package alpha implements the α-algorithm (van der Aalst, Weijters &
+// Măruşter, "Workflow Mining: Discovering Process Models from Event Logs"),
+// the direct successor of this paper's line of work and the textbook
+// baseline of the modern process-mining field. It is included as a second
+// comparator: where Agrawal-Gunopulos-Leymann mine a dependency graph with
+// per-execution edge marking, α mines a workflow net (a Petri net with one
+// source and one sink place) from the log's direct-succession footprint.
+//
+// Footprint relations over the direct-succession relation a > b (a is
+// immediately followed by b in some trace):
+//
+//	a → b  (causal)      iff a > b and not b > a
+//	a ∥ b  (parallel)    iff a > b and b > a
+//	a # b  (unrelated)   iff neither
+//
+// Places come from maximal pairs (A, B) with every a∈A, b∈B causal a→b,
+// and A, B internally unrelated (#).
+package alpha
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// Net is a workflow net: transitions are activities, places connect them.
+type Net struct {
+	// Transitions are the activity names, sorted.
+	Transitions []string
+	// Places connect input transition sets to output transition sets.
+	// Source and sink places have empty In/Out respectively.
+	Places []Place
+	// Start and End are the source/sink transitions of the log.
+	Start, End []string
+}
+
+// Place is one Petri-net place: tokens flow from the In transitions to the
+// Out transitions.
+type Place struct {
+	In, Out []string
+}
+
+// String renders a place as "{A,B} -> {C}".
+func (p Place) String() string {
+	return "{" + strings.Join(p.In, ",") + "} -> {" + strings.Join(p.Out, ",") + "}"
+}
+
+// Footprint holds the α relations computed from a log.
+type Footprint struct {
+	// Activities, sorted.
+	Activities []string
+	// Direct[a][b] reports a > b.
+	Direct map[string]map[string]bool
+}
+
+// Causal reports a → b.
+func (f *Footprint) Causal(a, b string) bool {
+	return f.Direct[a][b] && !f.Direct[b][a]
+}
+
+// Parallel reports a ∥ b.
+func (f *Footprint) Parallel(a, b string) bool {
+	return f.Direct[a][b] && f.Direct[b][a]
+}
+
+// Unrelated reports a # b.
+func (f *Footprint) Unrelated(a, b string) bool {
+	return !f.Direct[a][b] && !f.Direct[b][a]
+}
+
+// ComputeFootprint scans the log's activity sequences for direct
+// successions. Like the original α-algorithm it reads each execution as a
+// sequence (the instantaneous-activity view); overlapping steps contribute
+// the succession in both orders, which correctly lands them in ∥.
+func ComputeFootprint(l *wlog.Log) *Footprint {
+	f := &Footprint{
+		Activities: l.Activities(),
+		Direct:     map[string]map[string]bool{},
+	}
+	for _, a := range f.Activities {
+		f.Direct[a] = map[string]bool{}
+	}
+	for _, exec := range l.Executions {
+		acts := exec.Activities()
+		for i := 0; i+1 < len(acts); i++ {
+			f.Direct[acts[i]][acts[i+1]] = true
+		}
+		// Overlapping pairs are parallel: record both orders.
+		for i := range exec.Steps {
+			for j := i + 1; j < len(exec.Steps); j++ {
+				if exec.Steps[i].Overlaps(exec.Steps[j]) {
+					a, b := exec.Steps[i].Activity, exec.Steps[j].Activity
+					if a != b {
+						f.Direct[a][b] = true
+						f.Direct[b][a] = true
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Mine runs the α-algorithm and returns the workflow net.
+func Mine(l *wlog.Log) *Net {
+	f := ComputeFootprint(l)
+	net := &Net{Transitions: f.Activities}
+
+	firsts := map[string]bool{}
+	lasts := map[string]bool{}
+	for _, exec := range l.Executions {
+		if len(exec.Steps) == 0 {
+			continue
+		}
+		firsts[exec.First()] = true
+		lasts[exec.Last()] = true
+	}
+	net.Start = sortedKeys(firsts)
+	net.End = sortedKeys(lasts)
+
+	// Candidate pairs (A, B): grow from singletons; maximality by subset
+	// filtering. Exponential in the worst case but fine at workflow scale.
+	type pair struct{ a, b []string }
+	var cands []pair
+	n := len(f.Activities)
+
+	// unrelatedSet checks pairwise # within a set.
+	unrelatedSet := func(xs []string) bool {
+		for i := range xs {
+			for j := i + 1; j < len(xs); j++ {
+				if !f.Unrelated(xs[i], xs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	causalAll := func(as, bs []string) bool {
+		for _, a := range as {
+			for _, b := range bs {
+				if !f.Causal(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Enumerate subsets A, B over activities that participate in at least
+	// one causal relation; bounded enumeration with pruning.
+	var causalSrc, causalDst []string
+	for _, a := range f.Activities {
+		hasOut, hasIn := false, false
+		for _, b := range f.Activities {
+			if f.Causal(a, b) {
+				hasOut = true
+			}
+			if f.Causal(b, a) {
+				hasIn = true
+			}
+		}
+		if hasOut {
+			causalSrc = append(causalSrc, a)
+		}
+		if hasIn {
+			causalDst = append(causalDst, a)
+		}
+	}
+	_ = n
+
+	var enumSets func(pool []string, cur []string, emit func([]string))
+	enumSets = func(pool []string, cur []string, emit func([]string)) {
+		if len(cur) > 0 {
+			emit(append([]string(nil), cur...))
+		}
+		for i, x := range pool {
+			ok := true
+			for _, y := range cur {
+				if !f.Unrelated(x, y) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				enumSets(pool[i+1:], append(cur, x), emit)
+			}
+		}
+	}
+
+	var aSets [][]string
+	enumSets(causalSrc, nil, func(s []string) { aSets = append(aSets, s) })
+	var bSets [][]string
+	enumSets(causalDst, nil, func(s []string) { bSets = append(bSets, s) })
+
+	for _, as := range aSets {
+		if !unrelatedSet(as) {
+			continue
+		}
+		for _, bs := range bSets {
+			if !unrelatedSet(bs) {
+				continue
+			}
+			if causalAll(as, bs) {
+				cands = append(cands, pair{a: as, b: bs})
+			}
+		}
+	}
+	// Keep only maximal pairs.
+	isSubset := func(x, y []string) bool {
+		set := map[string]bool{}
+		for _, v := range y {
+			set[v] = true
+		}
+		for _, v := range x {
+			if !set[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, p := range cands {
+		maximal := true
+		for j, q := range cands {
+			if i == j {
+				continue
+			}
+			if isSubset(p.a, q.a) && isSubset(p.b, q.b) &&
+				(len(p.a) < len(q.a) || len(p.b) < len(q.b)) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			net.Places = append(net.Places, Place{In: p.a, Out: p.b})
+		}
+	}
+	// Source and sink places.
+	net.Places = append(net.Places,
+		Place{Out: net.Start},
+		Place{In: net.End},
+	)
+	sort.Slice(net.Places, func(i, j int) bool {
+		return net.Places[i].String() < net.Places[j].String()
+	})
+	return net
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CausalGraph projects the net onto a plain activity graph (an edge per
+// causal place connection), the structure comparable with the AGL miner's
+// output.
+func (net *Net) CausalGraph() *graph.Digraph {
+	g := graph.New()
+	for _, tr := range net.Transitions {
+		g.AddVertex(tr)
+	}
+	for _, p := range net.Places {
+		for _, a := range p.In {
+			for _, b := range p.Out {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// WriteReport renders the net.
+func (net *Net) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "alpha workflow net: %d transitions, %d places\n",
+		len(net.Transitions), len(net.Places)); err != nil {
+		return err
+	}
+	for _, p := range net.Places {
+		if _, err := fmt.Fprintf(w, "  place %s\n", p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

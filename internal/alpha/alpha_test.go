@@ -1,0 +1,159 @@
+package alpha
+
+import (
+	"strings"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+func TestFootprintRelations(t *testing.T) {
+	// The textbook example: L = {ABCD, ACBD, AED}.
+	l := wlog.LogFromStrings("ABCD", "ACBD", "AED")
+	f := ComputeFootprint(l)
+
+	if !f.Causal("A", "B") || !f.Causal("A", "C") || !f.Causal("A", "E") {
+		t.Error("A should cause B, C, E")
+	}
+	if !f.Causal("B", "D") || !f.Causal("C", "D") || !f.Causal("E", "D") {
+		t.Error("B, C, E should cause D")
+	}
+	if !f.Parallel("B", "C") {
+		t.Error("B and C should be parallel")
+	}
+	if !f.Unrelated("B", "E") || !f.Unrelated("A", "D") {
+		t.Error("B#E and A#D expected")
+	}
+}
+
+func TestFootprintOverlapIsParallel(t *testing.T) {
+	base := wlog.FromString("x", "A")
+	s := base.Steps[0]
+	exec := wlog.Execution{ID: "x", Steps: []wlog.Step{
+		s,
+		{Activity: "B", Start: s.Start.Add(s.End.Sub(s.Start) / 2), End: s.End.Add(s.End.Sub(s.Start))},
+	}}
+	l := &wlog.Log{Executions: []wlog.Execution{exec}}
+	f := ComputeFootprint(l)
+	if !f.Parallel("A", "B") {
+		t.Fatal("overlapping activities should be parallel in the footprint")
+	}
+}
+
+func TestMineTextbookNet(t *testing.T) {
+	l := wlog.LogFromStrings("ABCD", "ACBD", "AED")
+	net := Mine(l)
+
+	if len(net.Transitions) != 5 {
+		t.Fatalf("transitions = %v", net.Transitions)
+	}
+	if len(net.Start) != 1 || net.Start[0] != "A" {
+		t.Fatalf("start = %v", net.Start)
+	}
+	if len(net.End) != 1 || net.End[0] != "D" {
+		t.Fatalf("end = %v", net.End)
+	}
+	// The classic α result for this log has places:
+	// {A}->{B,E}, {A}->{C,E}, {B,E}->{D}, {C,E}->{D}, plus source/sink.
+	wantPlaces := map[string]bool{
+		"{A} -> {B,E}": true,
+		"{A} -> {C,E}": true,
+		"{B,E} -> {D}": true,
+		"{C,E} -> {D}": true,
+		"{} -> {A}":    true,
+		"{D} -> {}":    true,
+	}
+	if len(net.Places) != len(wantPlaces) {
+		var got []string
+		for _, p := range net.Places {
+			got = append(got, p.String())
+		}
+		t.Fatalf("places = %v, want %v", got, wantPlaces)
+	}
+	for _, p := range net.Places {
+		if !wantPlaces[p.String()] {
+			t.Errorf("unexpected place %s", p)
+		}
+	}
+}
+
+func TestMineSequence(t *testing.T) {
+	l := wlog.LogFromStrings("ABC", "ABC")
+	net := Mine(l)
+	want := map[string]bool{
+		"{A} -> {B}": true,
+		"{B} -> {C}": true,
+		"{} -> {A}":  true,
+		"{C} -> {}":  true,
+	}
+	if len(net.Places) != len(want) {
+		var got []string
+		for _, p := range net.Places {
+			got = append(got, p.String())
+		}
+		t.Fatalf("places = %v", got)
+	}
+}
+
+func TestCausalGraphMatchesAGLOnSimpleLogs(t *testing.T) {
+	// On logs of full executions without short loops, alpha's causal
+	// structure and Algorithm 1's transitive reduction coincide for chains
+	// and simple splits.
+	logs := [][]string{
+		{"ABC", "ABC"},
+		{"SABE", "SBAE"},
+	}
+	for _, seqs := range logs {
+		l := wlog.LogFromStrings(seqs...)
+		agl, err := core.MineSpecialDAG(l, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphaG := Mine(l).CausalGraph()
+		if !graph.EqualGraphs(agl, alphaG) {
+			t.Errorf("log %v: AGL %v vs alpha %v", seqs, agl, alphaG)
+		}
+	}
+}
+
+func TestAlphaVsAGLNonLocalDependency(t *testing.T) {
+	// The known α limitation: it only sees DIRECT successions, so a
+	// dependency bridged by other activities in every trace is invisible
+	// to α but captured by AGL's "terminates before" relation. Log:
+	// {ABCE, ACBE}: A and E never adjacent... use {ABDE, ADBE}: B,D
+	// parallel, A->E dependency via both. Alpha has no A>E succession;
+	// AGL knows E depends on A (transitively) — both graphs still agree on
+	// the reduction here. The real divergence: AGL cancels orders by
+	// whole-interval precedence while alpha's > is adjacency-only, so on
+	// the log {ABC, BAC...}? Keep it concrete: ACB vs alpha on
+	// {ABCE, ACBE} — E follows B and C in every trace but is adjacent
+	// only to the last one.
+	l := wlog.LogFromStrings("ABCE", "ACBE")
+	f := ComputeFootprint(l)
+	// alpha: B > E only from ACBE, C > E only from ABCE; B->E and C->E
+	// causal. A > B, A > C causal. So far same as AGL.
+	agl, err := core.MineSpecialDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaG := Mine(l).CausalGraph()
+	if !graph.EqualGraphs(agl, alphaG) {
+		t.Logf("structures differ (expected for some logs): AGL %v alpha %v", agl, alphaG)
+	}
+	if !f.Parallel("B", "C") {
+		t.Fatal("B and C should be parallel")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	net := Mine(wlog.LogFromStrings("AB"))
+	var b strings.Builder
+	if err := net.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "alpha workflow net") || !strings.Contains(b.String(), "place") {
+		t.Errorf("report = %q", b.String())
+	}
+}

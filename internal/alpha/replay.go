@@ -1,0 +1,102 @@
+package alpha
+
+import (
+	"procmine/internal/wlog"
+)
+
+// Token replay: the standard way to grade a workflow net against a log.
+// Each trace is replayed transition by transition; firing a transition
+// consumes one token from every place feeding it and produces one token in
+// every place it feeds. The classic counters are
+//
+//	p  produced tokens   c  consumed tokens
+//	m  missing tokens    r  remaining tokens
+//
+// and the replay fitness is 1/2(1 − m/c) + 1/2(1 − r/p).
+
+// ReplayResult aggregates token-replay counters over a log.
+type ReplayResult struct {
+	Produced, Consumed, Missing, Remaining int
+	// Traces and PerfectTraces count replayed and perfectly-replayed traces.
+	Traces, PerfectTraces int
+}
+
+// Fitness returns the token-replay fitness in [0, 1].
+func (r ReplayResult) Fitness() float64 {
+	if r.Consumed == 0 || r.Produced == 0 {
+		return 1
+	}
+	return 0.5*(1-float64(r.Missing)/float64(r.Consumed)) +
+		0.5*(1-float64(r.Remaining)/float64(r.Produced))
+}
+
+// Replay grades the net against every execution of the log.
+func (net *Net) Replay(l *wlog.Log) ReplayResult {
+	// Index places feeding / fed by each transition.
+	inPlaces := map[string][]int{}  // transition -> places with it in Out
+	outPlaces := map[string][]int{} // transition -> places with it in In
+	for pi, p := range net.Places {
+		for _, tr := range p.Out {
+			inPlaces[tr] = append(inPlaces[tr], pi)
+		}
+		for _, tr := range p.In {
+			outPlaces[tr] = append(outPlaces[tr], pi)
+		}
+	}
+	sourceIdx, sinkIdx := -1, -1
+	for pi, p := range net.Places {
+		if len(p.In) == 0 {
+			sourceIdx = pi
+		}
+		if len(p.Out) == 0 {
+			sinkIdx = pi
+		}
+	}
+
+	var res ReplayResult
+	for _, exec := range l.Executions {
+		res.Traces++
+		marking := make([]int, len(net.Places))
+		missing, remaining := 0, 0
+		produced, consumed := 0, 0
+		// Initial token in the source place.
+		if sourceIdx >= 0 {
+			marking[sourceIdx] = 1
+			produced++
+		}
+		for _, a := range exec.Activities() {
+			for _, pi := range inPlaces[a] {
+				if marking[pi] == 0 {
+					missing++ // force-fire: create the token
+				} else {
+					marking[pi]--
+				}
+				consumed++
+			}
+			for _, pi := range outPlaces[a] {
+				marking[pi]++
+				produced++
+			}
+		}
+		// Consume the final token from the sink.
+		if sinkIdx >= 0 {
+			if marking[sinkIdx] == 0 {
+				missing++
+			} else {
+				marking[sinkIdx]--
+			}
+			consumed++
+		}
+		for _, tokens := range marking {
+			remaining += tokens
+		}
+		res.Produced += produced
+		res.Consumed += consumed
+		res.Missing += missing
+		res.Remaining += remaining
+		if missing == 0 && remaining == 0 {
+			res.PerfectTraces++
+		}
+	}
+	return res
+}

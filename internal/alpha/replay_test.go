@@ -1,0 +1,78 @@
+package alpha
+
+import (
+	"math/rand"
+	"testing"
+
+	"procmine/internal/flowmark"
+	"procmine/internal/wlog"
+)
+
+func TestReplayPerfectOnOwnLog(t *testing.T) {
+	logs := [][]string{
+		{"ABCD", "ACBD", "AED"},
+		{"ABC", "ABC"},
+		{"SABE", "SBAE"},
+	}
+	for _, seqs := range logs {
+		l := wlog.LogFromStrings(seqs...)
+		net := Mine(l)
+		res := net.Replay(l)
+		if res.Fitness() != 1 {
+			t.Errorf("log %v: replay fitness = %v, want 1 (missing %d remaining %d)",
+				seqs, res.Fitness(), res.Missing, res.Remaining)
+		}
+		if res.PerfectTraces != res.Traces {
+			t.Errorf("log %v: %d of %d traces perfect", seqs, res.PerfectTraces, res.Traces)
+		}
+	}
+}
+
+func TestReplayPenalizesForeignTraces(t *testing.T) {
+	train := wlog.LogFromStrings("ABC", "ABC")
+	net := Mine(train)
+	// ACB violates the B->C ordering the net encodes.
+	foreign := wlog.LogFromStrings("ACB")
+	res := net.Replay(foreign)
+	if res.Fitness() >= 1 {
+		t.Fatalf("foreign trace replayed perfectly: %+v", res)
+	}
+	if res.Missing == 0 {
+		t.Fatalf("expected missing tokens, got %+v", res)
+	}
+	if res.PerfectTraces != 0 {
+		t.Fatal("foreign trace counted as perfect")
+	}
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	net := Mine(wlog.LogFromStrings("AB"))
+	res := net.Replay(&wlog.Log{})
+	if res.Fitness() != 1 || res.Traces != 0 {
+		t.Fatalf("empty replay = %+v", res)
+	}
+}
+
+// TestReplayFlowmarkReplica grades alpha's net against an engine log: on
+// the parallel UWI_Pilot the net misses two causal edges (see the
+// alpha-compare experiment), yet token replay stays high because the
+// missing places simply impose no constraint.
+func TestReplayFlowmarkReplica(t *testing.T) {
+	p, err := flowmark.Get("UWI_Pilot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := eng.GenerateLog("rp_", 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Mine(l)
+	res := net.Replay(l)
+	if res.Fitness() < 0.95 {
+		t.Fatalf("replay fitness = %v, want >= 0.95 (%+v)", res.Fitness(), res)
+	}
+}

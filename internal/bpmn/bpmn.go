@@ -1,0 +1,183 @@
+// Package bpmn exports mined process model graphs as BPMN 2.0 XML, the
+// interchange format of modern workflow systems (Camunda, Flowable, jBPM —
+// the successors of the Flowmark lineage this paper comes from).
+//
+// Mapping: every activity becomes a <task>; the process's initiating and
+// terminating activities are additionally wrapped with a <startEvent> and
+// <endEvent>. An activity with several outgoing edges gets an
+// <inclusiveGateway> split (the paper's edges carry independent Boolean
+// conditions — OR-split semantics), and an activity with several incoming
+// edges gets an <inclusiveGateway> join (the engine's synchronizing merge).
+// Edge conditions, when provided, are attached as <conditionExpression>
+// text in the condition algebra's syntax.
+package bpmn
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"procmine/internal/graph"
+)
+
+// Options configures the export.
+type Options struct {
+	// ProcessID and Name label the <process> element. ProcessID defaults
+	// to "process", Name to ProcessID.
+	ProcessID, Name string
+	// Start and End name the initiating and terminating activities; both
+	// must be vertices of the graph.
+	Start, End string
+	// Conditions supplies per-edge condition expressions (keyed by edge),
+	// rendered into conditionExpression elements. Optional.
+	Conditions map[graph.Edge]string
+}
+
+// XML element shapes (subset of BPMN 2.0).
+type xmlDefinitions struct {
+	XMLName xml.Name   `xml:"definitions"`
+	Xmlns   string     `xml:"xmlns,attr"`
+	ID      string     `xml:"id,attr"`
+	Process xmlProcess `xml:"process"`
+}
+
+type xmlProcess struct {
+	ID         string    `xml:"id,attr"`
+	Name       string    `xml:"name,attr"`
+	IsExec     bool      `xml:"isExecutable,attr"`
+	StartEvent *xmlNode  `xml:"startEvent,omitempty"`
+	EndEvent   *xmlNode  `xml:"endEvent,omitempty"`
+	Tasks      []xmlNode `xml:"task"`
+	Gateways   []xmlNode `xml:"inclusiveGateway"`
+	Flows      []xmlFlow `xml:"sequenceFlow"`
+}
+
+type xmlNode struct {
+	ID   string `xml:"id,attr"`
+	Name string `xml:"name,attr,omitempty"`
+}
+
+type xmlFlow struct {
+	ID        string  `xml:"id,attr"`
+	Source    string  `xml:"sourceRef,attr"`
+	Target    string  `xml:"targetRef,attr"`
+	Condition *xmlExp `xml:"conditionExpression,omitempty"`
+}
+
+type xmlExp struct {
+	Type string `xml:"xsi:type,attr"`
+	Text string `xml:",chardata"`
+}
+
+// Write renders the graph as a BPMN 2.0 document.
+func Write(w io.Writer, g *graph.Digraph, opts Options) error {
+	if opts.ProcessID == "" {
+		opts.ProcessID = "process"
+	}
+	if opts.Name == "" {
+		opts.Name = opts.ProcessID
+	}
+	if !g.HasVertex(opts.Start) || !g.HasVertex(opts.End) {
+		return fmt.Errorf("bpmn: start %q or end %q not in graph", opts.Start, opts.End)
+	}
+
+	proc := xmlProcess{ID: opts.ProcessID, Name: opts.Name, IsExec: false}
+	taskID := func(v string) string { return "task_" + sanitize(v) }
+	splitID := func(v string) string { return "split_" + sanitize(v) }
+	joinID := func(v string) string { return "join_" + sanitize(v) }
+
+	// Tasks.
+	for _, v := range g.Vertices() {
+		proc.Tasks = append(proc.Tasks, xmlNode{ID: taskID(v), Name: v})
+	}
+
+	// Gateways for multi-way splits and joins.
+	hasSplit := map[string]bool{}
+	hasJoin := map[string]bool{}
+	for _, v := range g.Vertices() {
+		if g.OutDegree(v) > 1 {
+			hasSplit[v] = true
+			proc.Gateways = append(proc.Gateways, xmlNode{ID: splitID(v)})
+		}
+		if g.InDegree(v) > 1 {
+			hasJoin[v] = true
+			proc.Gateways = append(proc.Gateways, xmlNode{ID: joinID(v)})
+		}
+	}
+
+	// Start and end events.
+	proc.StartEvent = &xmlNode{ID: "start_event"}
+	proc.EndEvent = &xmlNode{ID: "end_event"}
+
+	flowSeq := 0
+	addFlow := func(src, dst string, cond string) {
+		flowSeq++
+		f := xmlFlow{ID: fmt.Sprintf("flow_%03d", flowSeq), Source: src, Target: dst}
+		if cond != "" {
+			f.Condition = &xmlExp{Type: "tFormalExpression", Text: cond}
+		}
+		proc.Flows = append(proc.Flows, f)
+	}
+
+	addFlow("start_event", taskID(opts.Start), "")
+	addFlow(taskID(opts.End), "end_event", "")
+
+	// Split/join wiring: task -> (split gateway) -> edge -> (join gateway)
+	// -> task, with conditions living on the edge segment.
+	for _, v := range g.Vertices() {
+		if hasSplit[v] {
+			addFlow(taskID(v), splitID(v), "")
+		}
+		if hasJoin[v] {
+			addFlow(joinID(v), taskID(v), "")
+		}
+	}
+	for _, e := range g.Edges() {
+		src := taskID(e.From)
+		if hasSplit[e.From] {
+			src = splitID(e.From)
+		}
+		dst := taskID(e.To)
+		if hasJoin[e.To] {
+			dst = joinID(e.To)
+		}
+		cond := ""
+		if opts.Conditions != nil {
+			cond = opts.Conditions[e]
+		}
+		addFlow(src, dst, cond)
+	}
+
+	doc := xmlDefinitions{
+		Xmlns:   "http://www.omg.org/spec/BPMN/20100524/MODEL",
+		ID:      "definitions_" + sanitize(opts.ProcessID),
+		Process: proc,
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("bpmn: encoding: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// sanitize turns an activity name into an XML NCName-safe ID fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}

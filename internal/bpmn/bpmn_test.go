@@ -1,0 +1,157 @@
+package bpmn
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"procmine/internal/graph"
+)
+
+// parsed mirrors the exported structure for decoding in tests.
+type parsed struct {
+	XMLName xml.Name `xml:"definitions"`
+	Process struct {
+		ID    string `xml:"id,attr"`
+		Start struct {
+			ID string `xml:"id,attr"`
+		} `xml:"startEvent"`
+		End struct {
+			ID string `xml:"id,attr"`
+		} `xml:"endEvent"`
+		Tasks []struct {
+			ID   string `xml:"id,attr"`
+			Name string `xml:"name,attr"`
+		} `xml:"task"`
+		Gateways []struct {
+			ID string `xml:"id,attr"`
+		} `xml:"inclusiveGateway"`
+		Flows []struct {
+			ID        string `xml:"id,attr"`
+			Source    string `xml:"sourceRef,attr"`
+			Target    string `xml:"targetRef,attr"`
+			Condition string `xml:"conditionExpression"`
+		} `xml:"sequenceFlow"`
+	} `xml:"process"`
+}
+
+func export(t *testing.T, g *graph.Digraph, opts Options) parsed {
+	t.Helper()
+	var b strings.Builder
+	if err := Write(&b, g, opts); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var doc parsed
+	if err := xml.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("exported BPMN does not parse: %v\n%s", err, b.String())
+	}
+	return doc
+}
+
+func TestWriteChain(t *testing.T) {
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"}, graph.Edge{From: "B", To: "C"})
+	doc := export(t, g, Options{ProcessID: "chain", Start: "A", End: "C"})
+	if len(doc.Process.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(doc.Process.Tasks))
+	}
+	if len(doc.Process.Gateways) != 0 {
+		t.Fatalf("chain should need no gateways, got %d", len(doc.Process.Gateways))
+	}
+	// start->A, C->end, A->B, B->C.
+	if len(doc.Process.Flows) != 4 {
+		t.Fatalf("flows = %d, want 4", len(doc.Process.Flows))
+	}
+	if doc.Process.Start.ID != "start_event" || doc.Process.End.ID != "end_event" {
+		t.Fatalf("events = %+v", doc.Process)
+	}
+}
+
+func TestWriteGatewaysAndConditions(t *testing.T) {
+	// A splits to B and C; both join at D.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "D"},
+		graph.Edge{From: "C", To: "D"},
+	)
+	doc := export(t, g, Options{
+		Start: "A", End: "D",
+		Conditions: map[graph.Edge]string{
+			{From: "A", To: "B"}: "o[0] >= 5",
+		},
+	})
+	if len(doc.Process.Gateways) != 2 {
+		t.Fatalf("gateways = %d, want split_A and join_D", len(doc.Process.Gateways))
+	}
+	ids := map[string]bool{}
+	for _, gw := range doc.Process.Gateways {
+		ids[gw.ID] = true
+	}
+	if !ids["split_A"] || !ids["join_D"] {
+		t.Fatalf("gateway IDs = %v", ids)
+	}
+	// The A->B edge flow must run split_A -> task_B with the condition.
+	foundCond := false
+	for _, f := range doc.Process.Flows {
+		if f.Source == "split_A" && f.Target == "task_B" {
+			if strings.TrimSpace(f.Condition) != "o[0] >= 5" {
+				t.Fatalf("condition = %q", f.Condition)
+			}
+			foundCond = true
+		}
+	}
+	if !foundCond {
+		t.Fatal("conditional flow split_A -> task_B missing")
+	}
+	// All flow IDs unique.
+	seen := map[string]bool{}
+	for _, f := range doc.Process.Flows {
+		if seen[f.ID] {
+			t.Fatalf("duplicate flow id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestWriteSanitizesNames(t *testing.T) {
+	g := graph.NewFromEdges(graph.Edge{From: "Check Request", To: "Notify/OK"})
+	doc := export(t, g, Options{Start: "Check Request", End: "Notify/OK"})
+	for _, task := range doc.Process.Tasks {
+		if strings.ContainsAny(task.ID, " /") {
+			t.Fatalf("unsanitized task id %q", task.ID)
+		}
+	}
+	// Original names preserved as the display name.
+	names := map[string]bool{}
+	for _, task := range doc.Process.Tasks {
+		names[task.Name] = true
+	}
+	if !names["Check Request"] || !names["Notify/OK"] {
+		t.Fatalf("task names = %v", names)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"})
+	if err := Write(&strings.Builder{}, g, Options{Start: "X", End: "B"}); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+	if err := Write(&strings.Builder{}, g, Options{Start: "A", End: "X"}); err == nil {
+		t.Fatal("unknown end accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Simple":     "Simple",
+		"with space": "with_space",
+		"a/b:c":      "a_b_c",
+		"":           "x",
+		"ok_-2":      "ok_-2",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

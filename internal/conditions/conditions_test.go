@@ -1,0 +1,281 @@
+package conditions
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"procmine/internal/dtree"
+	"procmine/internal/flowmark"
+	"procmine/internal/graph"
+	"procmine/internal/model"
+	"procmine/internal/wlog"
+)
+
+func TestTrainingSetExtraction(t *testing.T) {
+	// Build executions with explicit outputs on activity A.
+	mk := func(id string, aOut wlog.Output, withB bool) wlog.Execution {
+		seq := "AC"
+		if withB {
+			seq = "ABC"
+		}
+		e := wlog.FromString(id, seq)
+		e.Steps[0].Output = aOut
+		return e
+	}
+	l := &wlog.Log{Executions: []wlog.Execution{
+		mk("p1", wlog.Output{7}, true),
+		mk("p2", wlog.Output{2}, false),
+		mk("p3", wlog.Output{9}, true),
+	}}
+	exs := TrainingSet(l, "A", "B")
+	if len(exs) != 3 {
+		t.Fatalf("got %d examples, want 3", len(exs))
+	}
+	wantY := []bool{true, false, true}
+	wantX := []int{7, 2, 9}
+	for i, ex := range exs {
+		if ex.Y != wantY[i] || ex.X[0] != wantX[i] {
+			t.Errorf("example %d = %+v, want x=%d y=%v", i, ex, wantX[i], wantY[i])
+		}
+	}
+	// Edge with absent source yields no examples.
+	if got := TrainingSet(l, "Z", "B"); len(got) != 0 {
+		t.Fatalf("TrainingSet for absent source = %v", got)
+	}
+}
+
+func TestLearnRecoversThreshold(t *testing.T) {
+	// Ground truth f(A->B) = o(A)[0] >= 5 over 400 executions.
+	rng := rand.New(rand.NewSource(1))
+	l := &wlog.Log{}
+	for i := 0; i < 400; i++ {
+		v := rng.Intn(10)
+		seq := "AC"
+		if v >= 5 {
+			seq = "ABC"
+		}
+		e := wlog.FromString(itoa(i), seq)
+		e.Steps[0].Output = wlog.Output{v, rng.Intn(10)}
+		l.Executions = append(l.Executions, e)
+	}
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "C"},
+	)
+	learned := Learn(l, g, dtree.Config{})
+	ab := learned[graph.Edge{From: "A", To: "B"}]
+	if ab.TrainAccuracy != 1 {
+		t.Fatalf("A->B training accuracy = %v, want 1", ab.TrainAccuracy)
+	}
+	if len(ab.Rules) != 1 || ab.Rules[0].String() != "o[0] >= 5" {
+		t.Fatalf("A->B rules = %v, want [o[0] >= 5]", ab.Rules)
+	}
+	// Learned condition evaluates like the ground truth.
+	for v := 0; v < 10; v++ {
+		if ab.Condition.Eval(wlog.Output{v, 0}) != (v >= 5) {
+			t.Errorf("learned condition wrong at o[0]=%d", v)
+		}
+	}
+	// A->C is unconditional: every example positive.
+	ac := learned[graph.Edge{From: "A", To: "C"}]
+	if ac.Positive != ac.Examples {
+		t.Fatalf("A->C should be all-positive, got %d/%d", ac.Positive, ac.Examples)
+	}
+	if !ac.Condition.Eval(wlog.Output{0, 0}) {
+		t.Fatal("A->C learned condition should be always-true")
+	}
+}
+
+func itoa(i int) string {
+	b := []byte{}
+	if i == 0 {
+		b = append(b, '0')
+	}
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return "p" + string(b)
+}
+
+func TestTreeConditionMatchesTreePredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var exs []dtree.Example
+	for i := 0; i < 300; i++ {
+		x := []int{rng.Intn(10), rng.Intn(10)}
+		exs = append(exs, dtree.Example{X: x, Y: x[0] > 3 && x[1] < 7})
+	}
+	tree, err := dtree.Train(exs, dtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := TreeCondition(tree)
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			x := []int{a, b}
+			if cond.Eval(wlog.Output(x)) != tree.Predict(x) {
+				t.Fatalf("condition and tree disagree at %v", x)
+			}
+		}
+	}
+}
+
+func TestTreeConditionNeverTrue(t *testing.T) {
+	exs := []dtree.Example{{X: []int{1}, Y: false}, {X: []int{5}, Y: false}}
+	tree, err := dtree.Train(exs, dtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := TreeCondition(tree)
+	if cond.Eval(wlog.Output{1}) || cond.Eval(wlog.Output{5}) {
+		t.Fatal("all-negative tree should convert to never-true condition")
+	}
+}
+
+func TestEdgeAccuracy(t *testing.T) {
+	l := &wlog.Log{}
+	for i := 0; i < 50; i++ {
+		v := i % 10
+		seq := "AC"
+		if v >= 5 {
+			seq = "ABC"
+		}
+		e := wlog.FromString(itoa(i), seq)
+		e.Steps[0].Output = wlog.Output{v}
+		l.Executions = append(l.Executions, e)
+	}
+	e := graph.Edge{From: "A", To: "B"}
+	acc, n := EdgeAccuracy(l, e, model.Threshold{Index: 0, Op: model.GE, Value: 5})
+	if acc != 1 || n != 50 {
+		t.Fatalf("perfect condition: acc=%v n=%d, want 1, 50", acc, n)
+	}
+	acc, _ = EdgeAccuracy(l, e, model.Threshold{Index: 0, Op: model.GE, Value: 0})
+	if acc != 0.5 {
+		t.Fatalf("always-true condition: acc=%v, want 0.5", acc)
+	}
+	acc, n = EdgeAccuracy(l, graph.Edge{From: "Z", To: "B"}, model.True{})
+	if acc != 1 || n != 0 {
+		t.Fatalf("absent source: acc=%v n=%d, want 1, 0", acc, n)
+	}
+}
+
+// TestLearnWithValidationSimplifiesJoinRules: for an edge into a join the
+// plain learner overfits (the label reflects the other incoming edge too);
+// pruning must produce a no-larger tree without losing holdout accuracy.
+func TestLearnWithValidationSimplifiesJoinRules(t *testing.T) {
+	p := flowmark.StressSleep()
+	eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := eng.GenerateLog("tr_", 400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, err := eng.GenerateLog("ho_", 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Learn(train, p.Graph, dtree.Config{MinLeaf: 5})
+	pruned := LearnWithValidation(train, p.Graph, dtree.Config{MinLeaf: 5}, 0.3)
+
+	joinEdge := graph.Edge{From: "Init", To: "Task2"}
+	pl, pr := plain[joinEdge], pruned[joinEdge]
+	if pr.Tree.Size() > pl.Tree.Size() {
+		t.Errorf("pruning grew the join tree: %d -> %d nodes", pl.Tree.Size(), pr.Tree.Size())
+	}
+	accPlain, _ := EdgeAccuracy(holdout, joinEdge, pl.Condition)
+	accPruned, _ := EdgeAccuracy(holdout, joinEdge, pr.Condition)
+	if accPruned+0.05 < accPlain {
+		t.Errorf("pruning lost holdout accuracy: %.3f -> %.3f", accPlain, accPruned)
+	}
+	// Clean-threshold edges must stay exact after pruning.
+	clean := graph.Edge{From: "Analyze", To: "ReportA"}
+	if acc, _ := EdgeAccuracy(holdout, clean, pruned[clean].Condition); acc < 0.99 {
+		t.Errorf("pruned clean edge accuracy = %.3f", acc)
+	}
+}
+
+func TestLearnWithValidationClamps(t *testing.T) {
+	l := &wlog.Log{}
+	for i := 0; i < 40; i++ {
+		v := i % 10
+		seq := "AC"
+		if v >= 5 {
+			seq = "ABC"
+		}
+		e := wlog.FromString(itoa(i), seq)
+		e.Steps[0].Output = wlog.Output{v}
+		l.Executions = append(l.Executions, e)
+	}
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"})
+	for _, frac := range []float64{-1, 0, 0.99} {
+		learned := LearnWithValidation(l, g, dtree.Config{}, frac)
+		le := learned[graph.Edge{From: "A", To: "B"}]
+		if le.Examples != 40 {
+			t.Fatalf("frac=%v: examples = %d, want 40", frac, le.Examples)
+		}
+		if le.Tree == nil {
+			t.Fatalf("frac=%v: no tree trained", frac)
+		}
+	}
+}
+
+// TestLearnFlowmarkConditions is the Section 7 experiment the paper could
+// not run (Flowmark did not log outputs): learn the known conditions of the
+// Upload_and_Notify replica from engine-generated logs and verify them on a
+// holdout log.
+func TestLearnFlowmarkConditions(t *testing.T) {
+	p := flowmark.UploadAndNotify()
+	eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := eng.GenerateLog("tr_", 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout, err := eng.GenerateLog("ho_", 150, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := Learn(train, p.Graph, dtree.Config{MinLeaf: 5})
+	for _, e := range p.Graph.Edges() {
+		le := learned[e]
+		acc, n := EdgeAccuracy(holdout, e, le.Condition)
+		if n == 0 {
+			t.Errorf("%v: no holdout examples", e)
+			continue
+		}
+		if acc < 0.97 {
+			t.Errorf("%v: holdout accuracy %.3f < 0.97 (condition %s)", e, acc, le.Condition)
+		}
+	}
+	rep := Report(learned)
+	if !strings.Contains(rep, "Verify->Notify_OK") {
+		t.Errorf("report missing edge line:\n%s", rep)
+	}
+}
+
+func TestLearnedImportance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := &wlog.Log{}
+	for i := 0; i < 300; i++ {
+		v := []int{rng.Intn(10), rng.Intn(10)}
+		seq := "AC"
+		if v[1] >= 5 { // condition depends on component 1 only
+			seq = "ABC"
+		}
+		e := wlog.FromString(itoa(i), seq)
+		e.Steps[0].Output = wlog.Output(v)
+		l.Executions = append(l.Executions, e)
+	}
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"})
+	learned := Learn(l, g, dtree.Config{})
+	imp := learned[graph.Edge{From: "A", To: "B"}].Importance
+	if len(imp) != 2 || imp[1] < 0.9 {
+		t.Fatalf("importance = %v, want component 1 dominant", imp)
+	}
+}

@@ -1,0 +1,214 @@
+package conformance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/model"
+	"procmine/internal/wlog"
+)
+
+// figure1 is the graph of Figure 1: A->{B,C}, C->D, {B,C,D}->E.
+func figure1() *graph.Digraph {
+	return model.Figure1().Graph
+}
+
+// TestExample4 reproduces Example 4: ACBE is consistent with Figure 1,
+// ADBE is not (D is unreachable from A in the induced subgraph).
+func TestExample4(t *testing.T) {
+	g := figure1()
+	if err := Consistent(g, "A", "E", wlog.FromString("ok", "ACBE")); err != nil {
+		t.Errorf("ACBE should be consistent: %v", err)
+	}
+	err := Consistent(g, "A", "E", wlog.FromString("bad", "ADBE"))
+	if !errors.Is(err, ErrUnreachableActivity) {
+		t.Errorf("ADBE: err = %v, want ErrUnreachableActivity", err)
+	}
+}
+
+func TestConsistentFullExecutions(t *testing.T) {
+	g := figure1()
+	for _, s := range []string{"ABCE", "ACDBE", "ACDE", "ACBE", "ABCDE"} {
+		if err := Consistent(g, "A", "E", wlog.FromString(s, s)); err != nil {
+			t.Errorf("%s should be consistent: %v", s, err)
+		}
+	}
+}
+
+func TestConsistentViolations(t *testing.T) {
+	g := figure1()
+	cases := []struct {
+		seq  string
+		want error
+	}{
+		{"ACDBEX", ErrUnknownActivity},   // X not in graph
+		{"ABCE", nil},                    // control
+		{"BCE", ErrBadEndpoints},         // does not start at A
+		{"ABC", ErrBadEndpoints},         // does not end at E
+		{"ADBE", ErrUnreachableActivity}, // D without C
+		{"ADCBE", ErrDependencyViolated}, // D before C but C->D in graph
+		{"AEBCE", ErrDependencyViolated}, // first E terminates before B starts, but B->E
+	}
+	for _, c := range cases {
+		err := Consistent(g, "A", "E", wlog.FromString(c.seq, c.seq))
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.seq, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.seq, err, c.want)
+		}
+	}
+}
+
+func TestConsistentEmptyExecution(t *testing.T) {
+	g := figure1()
+	if err := Consistent(g, "A", "E", wlog.Execution{ID: "empty"}); err == nil {
+		t.Fatal("empty execution accepted")
+	}
+}
+
+func TestConsistentDisconnectedInduced(t *testing.T) {
+	// Graph A->B, A->C, B->D, C->D plus isolated pair X->Y reachable only
+	// via D: A->..->D->X->Y. Execution A,Y would have a disconnected
+	// induced subgraph {A, Y} with no edges.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "B", To: "Y"},
+	)
+	err := Consistent(g, "A", "Y", wlog.FromString("x", "AY"))
+	if !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestCheckConformalMinedGraph(t *testing.T) {
+	// Algorithm 2 output must be conformal with its input log (Theorem 5).
+	logs := [][]string{
+		{"ABCF", "ACDF", "ADEF", "AECF"},
+		{"ADCE", "ABCDE"},
+		{"ABD", "ABCD"},
+		{"ABCDE", "ACDBE", "ACBDE"},
+	}
+	for _, seqs := range logs {
+		l := wlog.LogFromStrings(seqs...)
+		g, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			t.Fatalf("mine %v: %v", seqs, err)
+		}
+		first := seqs[0][:1]
+		last := seqs[0][len(seqs[0])-1:]
+		rep := Check(g, l, first, last, core.Options{})
+		if !rep.Conformal() {
+			t.Errorf("mined graph for %v not conformal: %s", seqs, rep.Summary())
+			for id, e := range rep.InconsistentExecutions {
+				t.Logf("  %s: %v", id, e)
+			}
+			for _, e := range rep.MissingDependencies {
+				t.Logf("  missing dependency %v", e)
+			}
+			for _, e := range rep.SpuriousPaths {
+				t.Logf("  spurious path %v", e)
+			}
+		}
+	}
+}
+
+// TestExample5SecondGraphNotConformal reproduces Example 5: for the log
+// {ADCE, ABCDE} the chain-like graph that forces C before D does not allow
+// the execution ADCE.
+func TestExample5SecondGraphNotConformal(t *testing.T) {
+	l := wlog.LogFromStrings("ADCE", "ABCDE")
+	// A graph in which D depends on C (so ADCE's D-before-C violates it).
+	bad := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "C"},
+		graph.Edge{From: "C", To: "D"},
+		graph.Edge{From: "D", To: "E"},
+	)
+	rep := Check(bad, l, "A", "E", core.Options{})
+	if rep.Conformal() {
+		t.Fatal("graph ordering C before D must not be conformal with ADCE")
+	}
+	if _, badExec := rep.InconsistentExecutions["x1"]; !badExec {
+		t.Errorf("ADCE (x1) should be flagged inconsistent; report: %s", rep.Summary())
+	}
+}
+
+func TestCheckDetectsMissingDependency(t *testing.T) {
+	l := wlog.LogFromStrings("ABC", "ABC")
+	// Graph missing any B->C path.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+	)
+	rep := Check(g, l, "A", "C", core.Options{})
+	found := false
+	for _, e := range rep.MissingDependencies {
+		if e.From == "B" && e.To == "C" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing dependency B->C not reported: %s", rep.Summary())
+	}
+}
+
+func TestCheckDetectsSpuriousPath(t *testing.T) {
+	// B and C independent (both orders observed) but the graph orders them.
+	l := wlog.LogFromStrings("ABCD", "ACBD")
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "B", To: "C"},
+		graph.Edge{From: "C", To: "D"},
+	)
+	rep := Check(g, l, "A", "D", core.Options{})
+	found := false
+	for _, e := range rep.SpuriousPaths {
+		if e.From == "B" && e.To == "C" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spurious path B->C not reported: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "not conformal") {
+		t.Errorf("Summary = %q, want 'not conformal...'", rep.Summary())
+	}
+}
+
+// TestExample2LogInducedSubgraphReading pins the induced-subgraph reading
+// of Definition 6: mining the Example 2 log {ABCE, ACDBE, ACDE} yields a
+// graph with the path C->D->B, and execution ABCE (B before C, no D) is
+// consistent because the path does not survive into the induced subgraph.
+// Under a whole-graph reading no conformal graph would exist for this log.
+func TestExample2LogInducedSubgraphReading(t *testing.T) {
+	l := wlog.LogFromStrings("ABCE", "ACDBE", "ACDE")
+	g, err := core.MineGeneralDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Reachable("C", "B") {
+		t.Skip("mined graph no longer contains the C->B path; scenario gone")
+	}
+	if err := Consistent(g, "A", "E", wlog.FromString("x", "ABCE")); err != nil {
+		t.Fatalf("ABCE should be consistent under the induced-subgraph reading: %v", err)
+	}
+	rep := Check(g, l, "A", "E", core.Options{})
+	if !rep.Conformal() {
+		t.Fatalf("mined graph must be conformal with its log: %s", rep.Summary())
+	}
+}
+
+func TestReportSummaryConformal(t *testing.T) {
+	r := &Report{InconsistentExecutions: map[string]error{}}
+	if !r.Conformal() || r.Summary() != "conformal" {
+		t.Fatalf("empty report: Conformal=%v Summary=%q", r.Conformal(), r.Summary())
+	}
+}

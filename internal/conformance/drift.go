@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"fmt"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// DriftDetector watches a stream of completed executions and signals when
+// the process has drifted away from a reference model: the operational
+// complement of the paper's Section 1 evolution use case (mine a model,
+// monitor reality against it, re-mine when reality moves). It keeps a
+// rolling window of per-execution consistency verdicts; when the windowed
+// fitness falls below the threshold, Observe reports drift.
+type DriftDetector struct {
+	g          *graph.Digraph
+	start, end string
+	window     int
+	threshold  float64
+
+	verdicts []bool // ring buffer of the last `window` verdicts
+	next     int
+	filled   int
+}
+
+// NewDriftDetector builds a detector for the given reference model. window
+// must be positive; threshold is the minimum acceptable windowed fitness in
+// (0, 1].
+func NewDriftDetector(g *graph.Digraph, start, end string, window int, threshold float64) (*DriftDetector, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("conformance: drift window must be positive, got %d", window)
+	}
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("conformance: drift threshold must be in (0, 1], got %v", threshold)
+	}
+	return &DriftDetector{
+		g:         g,
+		start:     start,
+		end:       end,
+		window:    window,
+		threshold: threshold,
+		verdicts:  make([]bool, window),
+	}, nil
+}
+
+// Observe grades one execution against the model and returns the current
+// windowed fitness plus whether drift is signalled. Drift requires a full
+// window, so a cold detector never alarms on its first executions.
+func (d *DriftDetector) Observe(exec wlog.Execution) (fitness float64, drifted bool) {
+	ok := Consistent(d.g, d.start, d.end, exec) == nil
+	d.verdicts[d.next] = ok
+	d.next = (d.next + 1) % d.window
+	if d.filled < d.window {
+		d.filled++
+	}
+	good := 0
+	for i := 0; i < d.filled; i++ {
+		if d.verdicts[i] {
+			good++
+		}
+	}
+	fitness = float64(good) / float64(d.filled)
+	return fitness, d.filled == d.window && fitness < d.threshold
+}
+
+// Reset clears the window, e.g. after re-mining a fresh model.
+func (d *DriftDetector) Reset(g *graph.Digraph) {
+	if g != nil {
+		d.g = g
+	}
+	d.next = 0
+	d.filled = 0
+}
+
+// Fitness returns the current windowed fitness (1 when nothing observed).
+func (d *DriftDetector) Fitness() float64 {
+	if d.filled == 0 {
+		return 1
+	}
+	good := 0
+	for i := 0; i < d.filled; i++ {
+		if d.verdicts[i] {
+			good++
+		}
+	}
+	return float64(good) / float64(d.filled)
+}

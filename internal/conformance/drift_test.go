@@ -1,0 +1,106 @@
+package conformance
+
+import (
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/wlog"
+)
+
+func TestDriftDetectorValidation(t *testing.T) {
+	g := figure1()
+	if _, err := NewDriftDetector(g, "A", "E", 0, 0.5); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := NewDriftDetector(g, "A", "E", 10, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := NewDriftDetector(g, "A", "E", 10, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+func TestDriftDetectorStableProcess(t *testing.T) {
+	g := figure1()
+	d, err := NewDriftDetector(g, "A", "E", 10, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		fit, drifted := d.Observe(wlog.FromString("s", "ACDBE"))
+		if drifted {
+			t.Fatalf("observation %d: false drift alarm (fitness %v)", i, fit)
+		}
+		if fit != 1 {
+			t.Fatalf("observation %d: fitness %v, want 1", i, fit)
+		}
+	}
+}
+
+func TestDriftDetectorSignalsChange(t *testing.T) {
+	// Model mined from era-1 traces; era-2 traces insert a new activity X
+	// that the model does not know.
+	l := wlog.LogFromStrings("ABCE", "ACDBE", "ACDE")
+	g, err := core.MineGeneralDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriftDetector(g, "A", "E", 10, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Era 1: conformant traffic, no alarms even past a full window.
+	for i := 0; i < 20; i++ {
+		if _, drifted := d.Observe(wlog.FromString("old", "ABCE")); drifted {
+			t.Fatal("false alarm during era 1")
+		}
+	}
+	// Era 2: the process now runs AXBCE.
+	alarmAt := -1
+	for i := 0; i < 10; i++ {
+		if _, drifted := d.Observe(wlog.FromString("new", "AXBCE")); drifted {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("drift never signalled")
+	}
+	// With threshold 0.7 and window 10, the alarm needs >3 bad verdicts.
+	if alarmAt < 3 {
+		t.Fatalf("alarm too early: after %d bad executions", alarmAt+1)
+	}
+
+	// Re-mine with the new behaviour and reset: alarms stop.
+	l2 := wlog.LogFromStrings("AXBCE", "AXBCE", "ABCE", "ACDBE")
+	g2, err := core.MineGeneralDAG(l2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reset(g2)
+	if d.Fitness() != 1 {
+		t.Fatal("Reset did not clear the window")
+	}
+	for i := 0; i < 20; i++ {
+		if _, drifted := d.Observe(wlog.FromString("new", "AXBCE")); drifted {
+			t.Fatal("alarm after re-mining")
+		}
+	}
+}
+
+func TestDriftDetectorColdStartNoAlarm(t *testing.T) {
+	g := figure1()
+	d, err := NewDriftDetector(g, "A", "E", 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even 9 consecutive violations must not alarm before the window fills.
+	for i := 0; i < 9; i++ {
+		if _, drifted := d.Observe(wlog.FromString("bad", "AZE")); drifted {
+			t.Fatalf("alarm before window filled (observation %d)", i)
+		}
+	}
+	if _, drifted := d.Observe(wlog.FromString("bad", "AZE")); !drifted {
+		t.Fatal("no alarm once window filled with violations")
+	}
+}

@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"procmine/internal/graph"
+)
+
+// Enumeration of the executions a process graph admits — the machinery for
+// the paper's open problem: "one cannot construct a graph that allows only
+// those executions that are present in a log. A valid goal ... could be to
+// find a conformal graph that also minimizes extraneous executions."
+// Counting a graph's admissible executions makes "extraneous" measurable:
+// extraneous(G, L) = |admissible(G)| − |distinct sequences in L|.
+//
+// An admissible execution (instantaneous-step form of Definition 6) is a
+// sequence over a vertex subset V' ∋ start, end whose induced subgraph is
+// connected with every vertex reachable from start, ordered by a linear
+// extension of the induced partial order that begins at start and ends at
+// end. Enumeration is exponential by nature; Limit bounds the work.
+
+// EnumerateOptions bounds the enumeration.
+type EnumerateOptions struct {
+	// Limit stops after this many executions (0 = 100000). Enumerate
+	// reports whether it was truncated.
+	Limit int
+}
+
+// Enumerate returns every admissible execution of the acyclic graph g as
+// activity sequences (sorted lexicographically), and whether the limit cut
+// the enumeration short. Cyclic graphs are rejected: their language is
+// infinite.
+func Enumerate(g *graph.Digraph, start, end string, opt EnumerateOptions) ([][]string, bool, error) {
+	if !g.IsDAG() {
+		return nil, false, fmt.Errorf("conformance: cannot enumerate executions of a cyclic graph: %w", graph.ErrCyclic)
+	}
+	if !g.HasVertex(start) || !g.HasVertex(end) {
+		return nil, false, fmt.Errorf("conformance: start %q or end %q not in graph", start, end)
+	}
+	limit := opt.Limit
+	if limit <= 0 {
+		limit = 100000
+	}
+
+	vertices := g.Vertices()
+	var interior []string
+	for _, v := range vertices {
+		if v != start && v != end {
+			interior = append(interior, v)
+		}
+	}
+	var out [][]string
+	truncated := false
+
+	// For each subset of interior vertices, validate the induced subgraph
+	// and enumerate its linear extensions.
+	n := len(interior)
+	if n > 20 {
+		return nil, false, fmt.Errorf("conformance: %d interior activities is too many to enumerate", n)
+	}
+	for mask := 0; mask < 1<<n && !truncated; mask++ {
+		set := []string{start, end}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, interior[i])
+			}
+		}
+		sub := g.InducedSubgraph(set)
+		if !sub.WeaklyConnected() || !sub.ConnectedFrom(start) {
+			continue
+		}
+		// end must be able to come last: no outgoing edges within sub.
+		if sub.OutDegree(end) != 0 {
+			continue
+		}
+		// start must come first: no incoming edges within sub.
+		if sub.InDegree(start) != 0 {
+			continue
+		}
+		truncated = !linearExtensions(sub, start, func(seq []string) bool {
+			if seq[len(seq)-1] != end {
+				return true // end not last: discard, keep enumerating
+			}
+			cp := append([]string(nil), seq...)
+			out = append(out, cp)
+			return len(out) < limit
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], "\x00") < strings.Join(out[j], "\x00")
+	})
+	return out, truncated, nil
+}
+
+// linearExtensions enumerates the topological orders of sub that begin at
+// first, invoking emit for each; emit returns false to stop. The return
+// value is false if stopped early.
+func linearExtensions(sub *graph.Digraph, first string, emit func([]string) bool) bool {
+	vs := sub.Vertices()
+	indeg := map[string]int{}
+	for _, v := range vs {
+		indeg[v] = sub.InDegree(v)
+	}
+	var seq []string
+	var rec func() bool
+	rec = func() bool {
+		if len(seq) == len(vs) {
+			return emit(seq)
+		}
+		for _, v := range vs {
+			if indeg[v] != 0 {
+				continue
+			}
+			if len(seq) == 0 && v != first {
+				continue
+			}
+			indeg[v] = -1 // taken
+			for _, w := range sub.Successors(v) {
+				indeg[w]--
+			}
+			seq = append(seq, v)
+			ok := rec()
+			seq = seq[:len(seq)-1]
+			for _, w := range sub.Successors(v) {
+				indeg[w]++
+			}
+			indeg[v] = 0
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec()
+}
+
+// Extraneous counts the executions g admits beyond the distinct sequences
+// in the log: the paper's open-problem metric. It returns (admissible,
+// observedDistinct, extraneous, truncated).
+func Extraneous(g *graph.Digraph, start, end string, observed [][]string, opt EnumerateOptions) (int, int, int, bool, error) {
+	adm, truncated, err := Enumerate(g, start, end, opt)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	admSet := map[string]bool{}
+	for _, seq := range adm {
+		admSet[strings.Join(seq, "\x00")] = true
+	}
+	obsSet := map[string]bool{}
+	for _, seq := range observed {
+		obsSet[strings.Join(seq, "\x00")] = true
+	}
+	extraneous := 0
+	for k := range admSet {
+		if !obsSet[k] {
+			extraneous++
+		}
+	}
+	return len(admSet), len(obsSet), extraneous, truncated, nil
+}

@@ -1,0 +1,147 @@
+package conformance
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+func seqsOf(xs [][]string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = strings.Join(x, "")
+	}
+	return out
+}
+
+func TestEnumerateChain(t *testing.T) {
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"}, graph.Edge{From: "B", To: "C"})
+	got, truncated, err := Enumerate(g, "A", "C", EnumerateOptions{})
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	// Only ABC: the subset {A, C} is disconnected (no edge A->C).
+	if want := []string{"ABC"}; !reflect.DeepEqual(seqsOf(got), want) {
+		t.Fatalf("admissible = %v, want %v", seqsOf(got), want)
+	}
+}
+
+func TestEnumerateParallel(t *testing.T) {
+	// S -> {A, B} -> E admits both interleavings; subsets without A or B
+	// are disconnected... actually {S, A, E} is connected and valid, so
+	// partial executions count too.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "S", To: "A"}, graph.Edge{From: "S", To: "B"},
+		graph.Edge{From: "A", To: "E"}, graph.Edge{From: "B", To: "E"},
+	)
+	got, _, err := Enumerate(g, "S", "E", EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SABE", "SAE", "SBAE", "SBE"}
+	if !reflect.DeepEqual(seqsOf(got), want) {
+		t.Fatalf("admissible = %v, want %v", seqsOf(got), want)
+	}
+}
+
+func TestEnumerateFigure1(t *testing.T) {
+	// Figure 1's graph: every admissible sequence must be consistent per
+	// Definition 6 and vice versa for all length<=5 candidates.
+	g := figure1()
+	got, truncated, err := Enumerate(g, "A", "E", EnumerateOptions{})
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	seen := map[string]bool{}
+	for _, seq := range got {
+		s := strings.Join(seq, "")
+		seen[s] = true
+		exec := wlog.FromString(s, s)
+		if cerr := Consistent(g, "A", "E", exec); cerr != nil {
+			t.Errorf("enumerated %s but Consistent rejects it: %v", s, cerr)
+		}
+	}
+	// The paper's sample executions are all admissible.
+	for _, s := range []string{"ABCE", "ACDBE", "ACDE", "ACBE"} {
+		if !seen[s] {
+			t.Errorf("missing admissible execution %s (got %v)", s, seqsOf(got))
+		}
+	}
+	// ADBE is not (Example 4).
+	if seen["ADBE"] {
+		t.Error("ADBE admitted though Example 4 says inconsistent")
+	}
+}
+
+func TestEnumerateRejectsCyclic(t *testing.T) {
+	g := graph.NewFromEdges(graph.Edge{From: "A", To: "B"}, graph.Edge{From: "B", To: "A"})
+	if _, _, err := Enumerate(g, "A", "B", EnumerateOptions{}); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+	if _, _, err := Enumerate(graph.NewFromEdges(graph.Edge{From: "A", To: "B"}), "X", "B", EnumerateOptions{}); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	// Wide parallel fan: many linear extensions; a tiny limit truncates.
+	g := graph.New()
+	for _, v := range []string{"B", "C", "D", "F", "G"} {
+		g.AddEdge("A", v)
+		g.AddEdge(v, "Z")
+	}
+	got, truncated, err := Enumerate(g, "A", "Z", EnumerateOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(got) != 10 {
+		t.Fatalf("limit: truncated=%v len=%d, want true/10", truncated, len(got))
+	}
+}
+
+// TestExtraneousOpenProblem measures the paper's open-problem quantity on
+// the open-problem log {ACF, ADCF, ABCF, ADECF}: any conformal graph admits
+// executions beyond the log.
+func TestExtraneousOpenProblem(t *testing.T) {
+	seqs := []string{"ACF", "ADCF", "ABCF", "ADECF"}
+	l := wlog.LogFromStrings(seqs...)
+	g, err := core.MineGeneralDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed [][]string
+	for _, s := range seqs {
+		observed = append(observed, strings.Split(s, ""))
+	}
+	adm, obs, extraneous, truncated, err := Extraneous(g, "A", "F", observed, EnumerateOptions{})
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if obs != 4 {
+		t.Fatalf("observed = %d, want 4", obs)
+	}
+	if extraneous == 0 {
+		t.Fatal("expected extraneous executions (the open problem says they are unavoidable)")
+	}
+	if adm != obs+extraneous {
+		t.Fatalf("adm=%d obs=%d extraneous=%d inconsistent", adm, obs, extraneous)
+	}
+	// Every observed sequence must be admitted (execution completeness).
+	admSeqs, _, err := Enumerate(g, "A", "F", EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, a := range admSeqs {
+		set[strings.Join(a, "")] = true
+	}
+	for _, s := range seqs {
+		if !set[s] {
+			t.Errorf("observed execution %s not admitted", s)
+		}
+	}
+}

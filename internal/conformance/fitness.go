@@ -1,0 +1,98 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// FitnessReport grades a graph against a log execution by execution — the
+// graded counterpart of the binary conformal check, useful for noisy logs
+// and for evaluating a purported model against reality (the paper's
+// "comparing the synthesized process graphs with purported graphs").
+type FitnessReport struct {
+	// Total and Consistent count executions; Fitness = Consistent/Total.
+	Total, Consistent int
+	// ViolationKinds counts first-violation categories by sentinel error
+	// text (e.g. "dependency violated", "unknown activity").
+	ViolationKinds map[string]int
+	// Examples holds up to MaxExamples concrete violations for display.
+	Examples []ExecutionViolation
+}
+
+// ExecutionViolation pairs an execution ID with its first violation.
+type ExecutionViolation struct {
+	ExecutionID string
+	Err         error
+}
+
+// MaxExamples bounds FitnessReport.Examples.
+const MaxExamples = 10
+
+// Fitness returns the fraction of log executions consistent with the graph
+// (Definition 6), with a breakdown of the violations found.
+func Fitness(g *graph.Digraph, start, end string, l *wlog.Log) *FitnessReport {
+	rep := &FitnessReport{ViolationKinds: map[string]int{}}
+	for _, exec := range l.Executions {
+		rep.Total++
+		err := Consistent(g, start, end, exec)
+		if err == nil {
+			rep.Consistent++
+			continue
+		}
+		rep.ViolationKinds[violationKind(err)]++
+		if len(rep.Examples) < MaxExamples {
+			rep.Examples = append(rep.Examples, ExecutionViolation{ExecutionID: exec.ID, Err: err})
+		}
+	}
+	return rep
+}
+
+// Fitness returns Consistent/Total in [0, 1]; an empty log scores 1.
+func (r *FitnessReport) Fitness() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Consistent) / float64(r.Total)
+}
+
+// violationKind maps a consistency error to its sentinel's message.
+func violationKind(err error) string {
+	for _, sentinel := range []error{
+		ErrUnknownActivity, ErrNotConnected, ErrBadEndpoints,
+		ErrUnreachableActivity, ErrDependencyViolated,
+	} {
+		if errors.Is(err, sentinel) {
+			return sentinel.Error()
+		}
+	}
+	return "other"
+}
+
+// WriteReport renders the fitness breakdown.
+func (r *FitnessReport) WriteReport(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "fitness: %.3f (%d of %d executions consistent)\n",
+		r.Fitness(), r.Consistent, r.Total); err != nil {
+		return err
+	}
+	kinds := make([]string, 0, len(r.ViolationKinds))
+	for k := range r.ViolationKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "  %5d  %s\n", r.ViolationKinds[k], k); err != nil {
+			return err
+		}
+	}
+	for _, ex := range r.Examples {
+		if _, err := fmt.Fprintf(w, "  e.g. %s: %v\n", ex.ExecutionID, ex.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}

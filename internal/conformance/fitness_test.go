@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/noise"
+	"procmine/internal/wlog"
+)
+
+func TestFitnessPerfect(t *testing.T) {
+	l := wlog.LogFromStrings("ABCE", "ACDBE", "ACDE")
+	g, err := core.MineGeneralDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Fitness(g, "A", "E", l)
+	if rep.Fitness() != 1 || rep.Consistent != 3 || rep.Total != 3 {
+		t.Fatalf("fitness = %+v, want perfect", rep)
+	}
+	var b strings.Builder
+	if err := rep.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fitness: 1.000") {
+		t.Errorf("report = %q", b.String())
+	}
+}
+
+func TestFitnessDetectsNoise(t *testing.T) {
+	// Mine a clean chain; grade a corrupted log against it.
+	clean := &wlog.Log{}
+	for i := 0; i < 100; i++ {
+		clean.Executions = append(clean.Executions, wlog.FromString(itoa(i), "ABCDE"))
+	}
+	g, err := core.MineGeneralDAG(clean, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := noise.NewCorruptor(rand.New(rand.NewSource(1)))
+	noisy := c.SwapAdjacent(clean, 0.15)
+	rep := Fitness(g, "A", "E", noisy)
+	if rep.Fitness() >= 1 {
+		t.Fatal("corrupted log graded as perfectly fitting")
+	}
+	if rep.Fitness() < 0.2 {
+		t.Fatalf("fitness %.3f implausibly low for 15%% noise", rep.Fitness())
+	}
+	if rep.ViolationKinds[ErrDependencyViolated.Error()] == 0 &&
+		rep.ViolationKinds[ErrBadEndpoints.Error()] == 0 {
+		t.Fatalf("expected order violations, got %v", rep.ViolationKinds)
+	}
+	if len(rep.Examples) == 0 || len(rep.Examples) > MaxExamples {
+		t.Fatalf("examples = %d", len(rep.Examples))
+	}
+}
+
+func TestFitnessEmptyLog(t *testing.T) {
+	g := figure1()
+	rep := Fitness(g, "A", "E", &wlog.Log{})
+	if rep.Fitness() != 1 {
+		t.Fatal("empty log should score 1")
+	}
+}
+
+func itoa(i int) string {
+	out := []byte{}
+	if i == 0 {
+		out = append(out, '0')
+	}
+	for i > 0 {
+		out = append([]byte{byte('0' + i%10)}, out...)
+		i /= 10
+	}
+	return "f" + string(out)
+}

@@ -1,0 +1,338 @@
+// Package core implements the process-mining algorithms of Agrawal,
+// Gunopulos & Leymann, "Mining Process Models from Workflow Logs"
+// (EDBT 1998):
+//
+//   - Algorithm 1 (MineSpecialDAG): acyclic processes whose executions each
+//     contain every activity exactly once. One pass, minimal conformal graph.
+//   - Algorithm 2 (MineGeneralDAG): acyclic processes with partial
+//     executions. Two passes plus a per-execution edge-marking heuristic.
+//   - Algorithm 3 (MineCyclic): general directed graphs; repeated activity
+//     instances are labeled apart, mined with Algorithm 2, and merged back.
+//
+// All three accept a noise threshold (Section 6): pairwise-order edges
+// observed in fewer executions than the threshold are discarded before
+// 2-cycle removal.
+//
+// The package also exposes the followings/dependency relations of
+// Definitions 3-5, which the conformance checker uses as the declarative
+// reference semantics.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"procmine/internal/graph"
+	"procmine/internal/noise"
+	"procmine/internal/wlog"
+)
+
+// Options configures the mining algorithms.
+type Options struct {
+	// MinSupport is the noise threshold T of Section 6: an ordered pair
+	// (u, v) observed in fewer than MinSupport executions is not added to
+	// the followings graph. Values <= 1 keep every observed pair.
+	MinSupport int
+
+	// AdaptiveEpsilon, when in (0, 0.5), replaces the global MinSupport
+	// with a per-pair threshold derived from the pair's co-occurrence
+	// count: T(u,v) = c(u,v)·ln2 / ln(2/ε), the Section 6 balance rule
+	// applied to the executions in which u and v actually both appear.
+	//
+	// The paper's analysis assumes every pair co-occurs in all m
+	// executions; with partial executions a global T = T(m, ε) filters
+	// genuinely dependent pairs that simply co-occur rarely (see the
+	// robustness experiment). The adaptive rule is this package's
+	// extension for that case. When set, MinSupport is ignored.
+	AdaptiveEpsilon float64
+}
+
+// ErrNotSpecialForm is returned by MineSpecialDAG when the log violates the
+// algorithm's precondition that every activity appears in every execution
+// exactly once.
+var ErrNotSpecialForm = errors.New("core: log is not in special form (every activity once per execution)")
+
+// ErrCyclicFollows is returned by MineSpecialDAG when the followings graph
+// still contains a cycle after 2-cycle removal, which cannot happen for a
+// well-formed special-form log and indicates the log needs MineGeneralDAG
+// or MineCyclic.
+var ErrCyclicFollows = errors.New("core: followings graph is cyclic; use MineGeneralDAG or MineCyclic")
+
+// pairCounts is the result of the step-2 log scan: per-execution support
+// counts for ordered "u terminates before v starts" pairs, and for unordered
+// overlapping pairs (which witness independence directly, per Section 2:
+// "if there are two activities in the log that overlap in time, then they
+// must be independent activities").
+type pairCounts struct {
+	order   map[graph.Edge]int // ordered pair support
+	overlap map[graph.Edge]int // unordered (From < To) overlap support
+	cooc    map[graph.Edge]int // unordered (From < To) co-occurrence count
+}
+
+// denseAlphabetMax bounds the activity alphabet for which the dense n×n
+// accumulator is used; beyond it the n² int32 matrices (~20·n² bytes in
+// total) stop being worth their memory and the map path takes over. The
+// ablation benchmark measures the dense path several times faster on the
+// Table 1 workloads, where the O(len²·m) pair scan dominates mining.
+const denseAlphabetMax = 2048
+
+// followsCounts scans the log once (step 2 of each algorithm) and counts,
+// for every ordered activity pair (u, v), the number of executions in which
+// some instance of u terminates before some instance of v starts, plus the
+// number of executions in which instances of the two activities overlap in
+// time, and their per-pair co-occurrence counts.
+func followsCounts(l *wlog.Log) pairCounts {
+	if acts := l.Activities(); len(acts) <= denseAlphabetMax {
+		return followsCountsDenseImpl(l, acts)
+	}
+	return followsCountsMap(l)
+}
+
+// followsCountsDenseImpl accumulates into n×n int32 matrices with a
+// generation-marked "seen" matrix (no per-execution clearing), converting
+// to the map form once at the end.
+func followsCountsDenseImpl(l *wlog.Log, acts []string) pairCounts {
+	n := len(acts)
+	index := make(map[string]int, n)
+	for i, a := range acts {
+		index[a] = i
+	}
+	order := make([]int32, n*n)
+	overlap := make([]int32, n*n)
+	cooc := make([]int32, n*n)
+	seenOrder := make([]int32, n*n)
+	seenOverlap := make([]int32, n*n)
+
+	ids := make([]int, 0, 64)
+	for gen, exec := range l.Executions {
+		mark := int32(gen + 1)
+		steps := exec.Steps
+		ids = ids[:0]
+		for i := range steps {
+			ids = append(ids, index[steps[i].Activity])
+		}
+		set := exec.ActivitySet()
+		for i := 0; i < len(set); i++ {
+			ai := index[set[i]]
+			for j := i + 1; j < len(set); j++ {
+				bi := index[set[j]]
+				lo, hi := ai, bi
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				cooc[lo*n+hi]++
+			}
+		}
+		for i := range steps {
+			for j := range steps {
+				if i == j || ids[i] == ids[j] {
+					continue
+				}
+				switch {
+				case steps[i].Before(steps[j]):
+					cell := ids[i]*n + ids[j]
+					if seenOrder[cell] != mark {
+						seenOrder[cell] = mark
+						order[cell]++
+					}
+				case i < j && steps[i].Overlaps(steps[j]):
+					lo, hi := ids[i], ids[j]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					cell := lo*n + hi
+					if seenOverlap[cell] != mark {
+						seenOverlap[cell] = mark
+						overlap[cell]++
+					}
+				}
+			}
+		}
+	}
+	pc := pairCounts{
+		order:   make(map[graph.Edge]int),
+		overlap: make(map[graph.Edge]int),
+		cooc:    make(map[graph.Edge]int),
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			cell := u*n + v
+			if c := order[cell]; c > 0 {
+				pc.order[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+			}
+			if u < v {
+				if c := overlap[cell]; c > 0 {
+					pc.overlap[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+				}
+				if c := cooc[cell]; c > 0 {
+					pc.cooc[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+				}
+			}
+		}
+	}
+	return pc
+}
+
+// followsCountsMap is the hash-map accumulator, retained for very large
+// alphabets where dense matrices would dominate memory (and as the oracle
+// in tests). FollowsCountsMap exposes it for the ablation benchmark.
+func followsCountsMap(l *wlog.Log) pairCounts {
+	pc := pairCounts{
+		order:   make(map[graph.Edge]int),
+		overlap: make(map[graph.Edge]int),
+		cooc:    make(map[graph.Edge]int),
+	}
+	for _, exec := range l.Executions {
+		seenOrder := make(map[graph.Edge]bool)
+		seenOverlap := make(map[graph.Edge]bool)
+		acts := exec.ActivitySet()
+		for i := 0; i < len(acts); i++ {
+			for j := i + 1; j < len(acts); j++ {
+				pc.cooc[graph.Edge{From: acts[i], To: acts[j]}]++
+			}
+		}
+		steps := exec.Steps
+		for i := range steps {
+			for j := range steps {
+				if i == j || steps[i].Activity == steps[j].Activity {
+					continue
+				}
+				switch {
+				case steps[i].Before(steps[j]):
+					e := graph.Edge{From: steps[i].Activity, To: steps[j].Activity}
+					if !seenOrder[e] {
+						seenOrder[e] = true
+						pc.order[e]++
+					}
+				case i < j && steps[i].Overlaps(steps[j]):
+					e := graph.Edge{From: steps[i].Activity, To: steps[j].Activity}
+					if e.From > e.To {
+						e.From, e.To = e.To, e.From
+					}
+					if !seenOverlap[e] {
+						seenOverlap[e] = true
+						pc.overlap[e]++
+					}
+				}
+			}
+		}
+	}
+	return pc
+}
+
+// buildFollowsGraph performs steps 1-3 shared by all algorithms: accumulate
+// pairwise-order edges with support counts, apply the noise threshold, and
+// delete edges that appear in both directions (2-cycles). The vertex set is
+// every activity observed in the log, so activities that never participate
+// in an ordered pair still become vertices.
+//
+// Beyond the paper's instantaneous-activities simplification, an observed
+// overlap between two activities also cancels any edges between them: by
+// Definition 3 a following requires the order to hold in *each* execution
+// where both appear, and an overlap breaks that. Overlap observations below
+// the noise threshold are ignored, symmetrically with order observations.
+func buildFollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
+	g := graph.New()
+	for _, a := range l.Activities() {
+		g.AddVertex(a)
+	}
+	pc := followsCounts(l)
+	threshold := func(e graph.Edge) int {
+		if opt.AdaptiveEpsilon > 0 && opt.AdaptiveEpsilon < 0.5 {
+			key := e
+			if key.From > key.To {
+				key.From, key.To = key.To, key.From
+			}
+			t, err := noise.ThresholdFor(pc.cooc[key], opt.AdaptiveEpsilon)
+			if err != nil {
+				return 1
+			}
+			return t
+		}
+		return opt.MinSupport
+	}
+	for e, c := range pc.order {
+		if c < threshold(e) {
+			continue
+		}
+		g.AddEdge(e.From, e.To)
+	}
+	// Step 3: remove edges present in both directions, and edges between
+	// pairs observed overlapping (with at least threshold support).
+	for _, e := range g.Edges() {
+		if e.From < e.To && g.HasEdge(e.To, e.From) {
+			g.RemoveEdge(e.From, e.To)
+			g.RemoveEdge(e.To, e.From)
+		}
+	}
+	for e, c := range pc.overlap {
+		min := threshold(e)
+		if min < 1 {
+			min = 1
+		}
+		if c < min {
+			continue
+		}
+		g.RemoveEdge(e.From, e.To)
+		g.RemoveEdge(e.To, e.From)
+	}
+	return g
+}
+
+// FollowsGraph returns the followings graph of the log after threshold
+// filtering and 2-cycle removal (steps 1-3). An edge u->v means u was
+// observed to terminate before v in at least max(1, MinSupport) executions
+// and v was never (or sub-threshold) observed before u. Paths in this graph
+// are exactly the "followings" of Definition 3.
+func FollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
+	return buildFollowsGraph(l, opt)
+}
+
+// FollowsCounts returns the raw support count for every ordered activity
+// pair: the number of executions in which the first activity terminates
+// before the second starts. Useful for inspecting noise (Section 6).
+func FollowsCounts(l *wlog.Log) map[graph.Edge]int {
+	return followsCounts(l).order
+}
+
+// OverlapCounts returns, for every unordered activity pair (keyed with
+// From < To), the number of executions in which instances of the two
+// activities overlapped in time — direct evidence of independence.
+func OverlapCounts(l *wlog.Log) map[graph.Edge]int {
+	return followsCounts(l).overlap
+}
+
+// specialFormError checks the Algorithm 1 precondition and describes the
+// first violation, or returns nil.
+func specialFormError(l *wlog.Log) error {
+	acts := l.Activities()
+	want := len(acts)
+	for _, exec := range l.Executions {
+		if len(exec.Steps) != want {
+			return fmt.Errorf("%w: execution %q has %d steps, want %d",
+				ErrNotSpecialForm, exec.ID, len(exec.Steps), want)
+		}
+		seen := make(map[string]bool, want)
+		for _, s := range exec.Steps {
+			if seen[s.Activity] {
+				return fmt.Errorf("%w: execution %q repeats activity %q",
+					ErrNotSpecialForm, exec.ID, s.Activity)
+			}
+			seen[s.Activity] = true
+		}
+	}
+	return nil
+}
+
+// adaptiveThreshold is the per-pair Section 6 balance rule used by both the
+// followings-graph builder and the diagnostics funnel.
+func adaptiveThreshold(cooc int, eps float64) (int, error) {
+	return noise.ThresholdFor(cooc, eps)
+}
+
+// FollowsCountsMap returns the ordered-pair support counts computed with
+// the hash-map accumulator — the baseline the dense production accumulator
+// is benchmarked against (see bench_test.go's ablations).
+func FollowsCountsMap(l *wlog.Log) map[graph.Edge]int {
+	return followsCountsMap(l).order
+}

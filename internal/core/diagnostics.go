@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// Diagnostics traces the Algorithm 2/3 pipeline: how many candidate edges
+// each stage admitted or removed. It answers "why is (or isn't) this edge
+// in my model" at the aggregate level; per-edge evidence is Support.
+type Diagnostics struct {
+	// Executions and Activities size the input (labeled counts for cyclic
+	// logs, where each activity instance is its own label).
+	Executions, Activities int
+	// Labeled reports whether instance labeling (Algorithm 3) was applied.
+	Labeled bool
+	// OrderedPairs is the number of distinct ordered pairs observed
+	// (step 2); BelowThreshold of them fell under the noise threshold.
+	OrderedPairs, BelowThreshold int
+	// TwoCycleRemoved counts edges cancelled against their reverse
+	// (step 3); OverlapRemoved counts edges cancelled by observed overlaps.
+	TwoCycleRemoved, OverlapRemoved int
+	// IntraSCCRemoved counts edges inside strongly connected components
+	// (step 4); SCCs lists the independence clusters found (size > 1).
+	IntraSCCRemoved int
+	SCCs            [][]string
+	// UnmarkedRemoved counts dependency-graph edges no execution needed
+	// (step 6). FinalEdges is the mined graph's edge count.
+	UnmarkedRemoved, FinalEdges int
+}
+
+// MineWithDiagnostics runs the full pipeline (Algorithm 3 when the log
+// repeats activities, Algorithm 2 otherwise) and reports the stage funnel
+// alongside the mined graph.
+func MineWithDiagnostics(l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics, error) {
+	diag := &Diagnostics{Executions: l.Len()}
+
+	work := l
+	for _, e := range l.Executions {
+		seen := map[string]bool{}
+		for _, s := range e.Steps {
+			if seen[s.Activity] {
+				diag.Labeled = true
+			}
+			seen[s.Activity] = true
+		}
+	}
+	if diag.Labeled {
+		labeled, err := LabelInstances(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		work = labeled
+	}
+	diag.Activities = len(work.Activities())
+
+	pc := followsCounts(work)
+	diag.OrderedPairs = len(pc.order)
+
+	// Reconstruct the funnel stage by stage.
+	g := buildFollowsGraph(work, opt)
+	afterSteps13 := g.NumEdges()
+	// Edges that never made it: below threshold, 2-cycle, or overlap.
+	kept := map[graph.Edge]bool{}
+	for _, e := range g.Edges() {
+		kept[e] = true
+	}
+	for e, c := range pc.order {
+		if kept[e] {
+			continue
+		}
+		min := opt.MinSupport
+		if opt.AdaptiveEpsilon > 0 && opt.AdaptiveEpsilon < 0.5 {
+			key := e
+			if key.From > key.To {
+				key.From, key.To = key.To, key.From
+			}
+			if t, err := thresholdForPair(pc.cooc[key], opt.AdaptiveEpsilon); err == nil {
+				min = t
+			}
+		}
+		switch {
+		case c < min:
+			diag.BelowThreshold++
+		case pc.order[graph.Edge{From: e.To, To: e.From}] >= min && pc.order[graph.Edge{From: e.To, To: e.From}] > 0:
+			diag.TwoCycleRemoved++
+		default:
+			diag.OverlapRemoved++
+		}
+	}
+
+	for _, c := range g.SCCs() {
+		if len(c) > 1 {
+			diag.SCCs = append(diag.SCCs, c)
+		}
+	}
+	diag.IntraSCCRemoved = g.RemoveIntraSCCEdges()
+	afterStep4 := g.NumEdges()
+	_ = afterSteps13
+
+	marked, err := markRequiredEdges(g, work)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range g.Edges() {
+		if !marked[e] {
+			g.RemoveEdge(e.From, e.To)
+		}
+	}
+	diag.UnmarkedRemoved = afterStep4 - g.NumEdges()
+
+	if diag.Labeled {
+		g = MergeInstances(g)
+	}
+	diag.FinalEdges = g.NumEdges()
+	return g, diag, nil
+}
+
+// thresholdForPair mirrors the adaptive rule without importing noise at the
+// call site twice; it simply delegates.
+func thresholdForPair(cooc int, eps float64) (int, error) {
+	return adaptiveThreshold(cooc, eps)
+}
+
+// WriteReport renders the stage funnel.
+func (d *Diagnostics) WriteReport(w io.Writer) error {
+	mode := "acyclic (Algorithm 2)"
+	if d.Labeled {
+		mode = "cyclic (Algorithm 3, instance-labeled)"
+	}
+	fmt.Fprintf(w, "pipeline: %s\n", mode)
+	fmt.Fprintf(w, "input:    %d executions, %d activities\n", d.Executions, d.Activities)
+	fmt.Fprintf(w, "step 2:   %d distinct ordered pairs\n", d.OrderedPairs)
+	fmt.Fprintf(w, "step 3:   -%d below threshold, -%d two-cycle cancelled, -%d overlap cancelled\n",
+		d.BelowThreshold, d.TwoCycleRemoved, d.OverlapRemoved)
+	fmt.Fprintf(w, "step 4:   -%d intra-SCC edges", d.IntraSCCRemoved)
+	if len(d.SCCs) > 0 {
+		fmt.Fprintf(w, " (independence clusters: %v)", d.SCCs)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "step 5-6: -%d unmarked edges\n", d.UnmarkedRemoved)
+	fmt.Fprintf(w, "result:   %d edges\n", d.FinalEdges)
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package dtree is a from-scratch decision-tree classifier in the style of
+// the classical systems surveyed by Weiss & Kulikowski [WK91], which Section
+// 7 of the paper prescribes for learning the Boolean edge conditions: "the
+// use of a decision tree classifier will give a set of simple rules that
+// classify when a given activity is taken or not."
+//
+// Features are integer vectors (activity output vectors o(u) ∈ N^k); labels
+// are Boolean (edge taken or not). Splits are binary threshold tests
+// x[i] < t chosen by information gain.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Example is one labeled training instance.
+type Example struct {
+	// X is the feature vector (an activity's output vector).
+	X []int
+	// Y is the class label (whether the outgoing edge was taken).
+	Y bool
+}
+
+// Config controls tree induction. The zero value gets sensible defaults.
+type Config struct {
+	// MaxDepth bounds the tree depth; 0 means default (8).
+	MaxDepth int
+	// MinLeaf is the minimum number of examples in a leaf; 0 means 1.
+	MinLeaf int
+	// MinGain is the minimum information gain (in bits) required to split;
+	// values <= 0 mean 1e-9.
+	MinGain float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 1e-9
+	}
+	return c
+}
+
+// Node is one decision-tree node. Leaves have Leaf == true; internal nodes
+// test X[Feature] < Threshold and descend Left on true, Right on false.
+type Node struct {
+	Leaf      bool
+	Class     bool    // leaf prediction
+	PosRatio  float64 // fraction of positive training examples at this node
+	N         int     // training examples at this node
+	Feature   int
+	Threshold int
+	Left      *Node // X[Feature] < Threshold
+	Right     *Node
+}
+
+// Tree is a trained decision-tree classifier.
+type Tree struct {
+	Root     *Node
+	Features int // feature-vector width seen at training
+}
+
+// ErrNoData is returned by Train when the training set is empty.
+var ErrNoData = errors.New("dtree: empty training set")
+
+// Train induces a tree from examples. Feature vectors may have differing
+// lengths; missing trailing features read as zero, mirroring the Output
+// convention in the conditions miner.
+func Train(examples []Example, cfg Config) (*Tree, error) {
+	if len(examples) == 0 {
+		return nil, ErrNoData
+	}
+	cfg = cfg.withDefaults()
+	width := 0
+	for _, ex := range examples {
+		if len(ex.X) > width {
+			width = len(ex.X)
+		}
+	}
+	root := build(examples, cfg, width, 0)
+	return &Tree{Root: root, Features: width}, nil
+}
+
+// feature reads x[i] with the missing-reads-zero convention.
+func feature(x []int, i int) int {
+	if i < len(x) {
+		return x[i]
+	}
+	return 0
+}
+
+// entropy returns the binary entropy (bits) of a p/n split.
+func entropy(pos, n int) float64 {
+	if n == 0 || pos == 0 || pos == n {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func countPos(examples []Example) int {
+	pos := 0
+	for _, ex := range examples {
+		if ex.Y {
+			pos++
+		}
+	}
+	return pos
+}
+
+func leaf(examples []Example) *Node {
+	pos := countPos(examples)
+	return &Node{
+		Leaf:     true,
+		Class:    2*pos >= len(examples), // majority, ties predict true
+		PosRatio: float64(pos) / float64(len(examples)),
+		N:        len(examples),
+	}
+}
+
+func build(examples []Example, cfg Config, width, depth int) *Node {
+	pos := countPos(examples)
+	if depth >= cfg.MaxDepth || pos == 0 || pos == len(examples) || len(examples) < 2*cfg.MinLeaf {
+		return leaf(examples)
+	}
+	bestGain := cfg.MinGain
+	bestFeat, bestThr := -1, 0
+	base := entropy(pos, len(examples))
+	for f := 0; f < width; f++ {
+		// Candidate thresholds: midpoints between consecutive distinct
+		// values (integer features: any value strictly between works; we
+		// use the upper value so the test is x < t).
+		vals := make([]int, 0, len(examples))
+		for _, ex := range examples {
+			vals = append(vals, feature(ex.X, f))
+		}
+		sort.Ints(vals)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] == vals[i-1] {
+				continue
+			}
+			t := vals[i]
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, ex := range examples {
+				if feature(ex.X, f) < t {
+					ln++
+					if ex.Y {
+						lp++
+					}
+				} else {
+					rn++
+					if ex.Y {
+						rp++
+					}
+				}
+			}
+			if ln < cfg.MinLeaf || rn < cfg.MinLeaf {
+				continue
+			}
+			rem := (float64(ln)*entropy(lp, ln) + float64(rn)*entropy(rp, rn)) / float64(len(examples))
+			if gain := base - rem; gain > bestGain {
+				bestGain, bestFeat, bestThr = gain, f, t
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leaf(examples)
+	}
+	var left, right []Example
+	for _, ex := range examples {
+		if feature(ex.X, bestFeat) < bestThr {
+			left = append(left, ex)
+		} else {
+			right = append(right, ex)
+		}
+	}
+	n := leaf(examples) // carries PosRatio/N for the internal node too
+	n.Leaf = false
+	n.Feature = bestFeat
+	n.Threshold = bestThr
+	n.Left = build(left, cfg, width, depth+1)
+	n.Right = build(right, cfg, width, depth+1)
+	return n
+}
+
+// Predict classifies a feature vector.
+func (t *Tree) Predict(x []int) bool {
+	n := t.Root
+	for !n.Leaf {
+		if feature(x, n.Feature) < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}
+
+// Accuracy returns the fraction of examples the tree classifies correctly.
+func (t *Tree) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, ex := range examples {
+		if t.Predict(ex.X) == ex.Y {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(examples))
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return size(t.Root) }
+
+func size(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + size(n.Left) + size(n.Right)
+}
+
+// Depth returns the depth of the tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// Rule is one conjunctive path from root to a positive leaf: the set of
+// threshold comparisons that must all hold. Rules are the "simple rules"
+// the paper wants from the classifier.
+type Rule struct {
+	// Terms are rendered comparisons like "o[0] >= 5".
+	Terms []string
+}
+
+// String joins the rule's terms with " && "; an empty rule is "true".
+func (r Rule) String() string {
+	if len(r.Terms) == 0 {
+		return "true"
+	}
+	return strings.Join(r.Terms, " && ")
+}
+
+// Rules extracts the disjunction of conjunctive rules under which the tree
+// predicts true.
+func (t *Tree) Rules() []Rule {
+	var out []Rule
+	var walk func(n *Node, terms []string)
+	walk = func(n *Node, terms []string) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			if n.Class {
+				r := Rule{Terms: append([]string(nil), terms...)}
+				out = append(out, r)
+			}
+			return
+		}
+		walk(n.Left, append(terms, fmt.Sprintf("o[%d] < %d", n.Feature, n.Threshold)))
+		walk(n.Right, append(terms, fmt.Sprintf("o[%d] >= %d", n.Feature, n.Threshold)))
+	}
+	walk(t.Root, nil)
+	return out
+}
+
+// String renders the tree as an indented text diagram, for CLI output.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		if n.Leaf {
+			fmt.Fprintf(&b, "%sleaf class=%v (n=%d, pos=%.2f)\n", indent, n.Class, n.N, n.PosRatio)
+			return
+		}
+		fmt.Fprintf(&b, "%sif o[%d] < %d:\n", indent, n.Feature, n.Threshold)
+		walk(n.Left, indent+"  ")
+		fmt.Fprintf(&b, "%selse:\n", indent)
+		walk(n.Right, indent+"  ")
+	}
+	walk(t.Root, "")
+	return b.String()
+}

@@ -1,0 +1,340 @@
+package dtree
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainEmpty(t *testing.T) {
+	if _, err := Train(nil, Config{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestPureLeaf(t *testing.T) {
+	tr, err := Train([]Example{{X: []int{1}, Y: true}, {X: []int{9}, Y: true}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf || !tr.Root.Class {
+		t.Fatalf("all-positive training should yield a positive leaf, got %+v", tr.Root)
+	}
+	if !tr.Predict([]int{5}) {
+		t.Fatal("positive leaf predicted false")
+	}
+	if tr.Size() != 1 || tr.Depth() != 0 {
+		t.Fatalf("Size/Depth = %d/%d, want 1/0", tr.Size(), tr.Depth())
+	}
+}
+
+func TestSimpleThreshold(t *testing.T) {
+	// Learn y = (x[0] >= 5) from exhaustive data.
+	var exs []Example
+	for v := 0; v < 10; v++ {
+		exs = append(exs, Example{X: []int{v}, Y: v >= 5})
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(exs); acc != 1 {
+		t.Fatalf("training accuracy = %v, want 1", acc)
+	}
+	for v := 0; v < 10; v++ {
+		if tr.Predict([]int{v}) != (v >= 5) {
+			t.Errorf("Predict(%d) wrong", v)
+		}
+	}
+	if tr.Depth() != 1 || tr.Size() != 3 {
+		t.Errorf("expected a single split, got depth %d size %d", tr.Depth(), tr.Size())
+	}
+	rules := tr.Rules()
+	if len(rules) != 1 || rules[0].String() != "o[0] >= 5" {
+		t.Errorf("Rules = %v, want [o[0] >= 5]", rules)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	// y = x0 > 3 && x1 < 7, dense grid.
+	var exs []Example
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			exs = append(exs, Example{X: []int{a, b}, Y: a > 3 && b < 7})
+		}
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(exs); acc != 1 {
+		t.Fatalf("training accuracy = %v, want 1", acc)
+	}
+}
+
+func TestXorNeedsDepth(t *testing.T) {
+	// Unbalanced XOR y = (x0 < 5) != (x1 < 3): the first split has positive
+	// marginal gain (unlike balanced XOR, which defeats any greedy
+	// gain-based learner) and each side reduces to a pure threshold, so a
+	// depth-2 tree learns it exactly.
+	var exs []Example
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			exs = append(exs, Example{X: []int{a, b}, Y: (a < 5) != (b < 3)})
+		}
+	}
+	tr, err := Train(exs, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(exs); acc != 1 {
+		t.Fatalf("unbalanced XOR accuracy = %v, want 1", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("XOR learned with depth %d < 2?", tr.Depth())
+	}
+}
+
+func TestBalancedXorIsGreedyBlindSpot(t *testing.T) {
+	// Balanced XOR has zero marginal gain on every single split, so the
+	// greedy learner (like classical ID3/C4.5) refuses to split at all.
+	// This documents the known limitation.
+	var exs []Example
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			exs = append(exs, Example{X: []int{a, b}, Y: (a < 5) != (b < 5)})
+		}
+	}
+	tr, err := Train(exs, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf {
+		t.Fatal("expected greedy learner to refuse splitting balanced XOR")
+	}
+}
+
+func TestMissingFeaturesReadZero(t *testing.T) {
+	exs := []Example{
+		{X: []int{0, 9}, Y: true},
+		{X: []int{0, 0}, Y: false},
+		{X: []int{0}, Y: false}, // x[1] missing -> 0
+		{X: []int{0, 8}, Y: true},
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Predict([]int{0}) != false {
+		t.Fatal("short vector should read missing feature as 0")
+	}
+	if tr.Predict([]int{0, 9}) != true {
+		t.Fatal("full vector misclassified")
+	}
+}
+
+func TestMinLeafPreventsSplit(t *testing.T) {
+	exs := []Example{
+		{X: []int{1}, Y: false},
+		{X: []int{9}, Y: true},
+	}
+	tr, err := Train(exs, Config{MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf {
+		t.Fatal("MinLeaf=2 with 2 examples must not split")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var exs []Example
+	for i := 0; i < 300; i++ {
+		x := []int{rng.Intn(100), rng.Intn(100), rng.Intn(100)}
+		exs = append(exs, Example{X: x, Y: rng.Intn(2) == 0}) // random labels
+	}
+	for _, d := range []int{1, 2, 3} {
+		tr, err := Train(exs, Config{MaxDepth: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Depth() > d {
+			t.Fatalf("Depth = %d exceeds MaxDepth %d", tr.Depth(), d)
+		}
+	}
+}
+
+func TestRulesCoverPredictions(t *testing.T) {
+	// Property: Predict(x) is true iff some extracted rule matches x.
+	rng := rand.New(rand.NewSource(2))
+	var exs []Example
+	for i := 0; i < 200; i++ {
+		x := []int{rng.Intn(10), rng.Intn(10)}
+		exs = append(exs, Example{X: x, Y: x[0]+x[1] >= 10})
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := func(r Rule, x []int) bool {
+		for _, term := range r.Terms {
+			var f, v int
+			var op string
+			if _, err := sscanTerm(term, &f, &op, &v); err != nil {
+				t.Fatalf("bad term %q", term)
+			}
+			fv := 0
+			if f < len(x) {
+				fv = x[f]
+			}
+			if op == "<" && !(fv < v) {
+				return false
+			}
+			if op == ">=" && !(fv >= v) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b uint8) bool {
+		x := []int{int(a % 10), int(b % 10)}
+		anyRule := false
+		for _, r := range tr.Rules() {
+			if matches(r, x) {
+				anyRule = true
+				break
+			}
+		}
+		return anyRule == tr.Predict(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sscanTerm parses "o[F] OP V".
+func sscanTerm(s string, f *int, op *string, v *int) (int, error) {
+	s = strings.TrimPrefix(s, "o[")
+	i := strings.Index(s, "]")
+	if i < 0 {
+		return 0, errors.New("no ]")
+	}
+	if _, err := parseInt(s[:i], f); err != nil {
+		return 0, err
+	}
+	rest := strings.TrimSpace(s[i+1:])
+	parts := strings.SplitN(rest, " ", 2)
+	if len(parts) != 2 {
+		return 0, errors.New("no op")
+	}
+	*op = parts[0]
+	if _, err := parseInt(strings.TrimSpace(parts[1]), v); err != nil {
+		return 0, err
+	}
+	return 3, nil
+}
+
+func parseInt(s string, out *int) (int, error) {
+	n := 0
+	neg := false
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return 0, errors.New("not a digit")
+		}
+		n = n*10 + int(r-'0')
+	}
+	if neg {
+		n = -n
+	}
+	*out = n
+	return 1, nil
+}
+
+func TestStringRendering(t *testing.T) {
+	var exs []Example
+	for v := 0; v < 10; v++ {
+		exs = append(exs, Example{X: []int{v}, Y: v >= 5})
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	for _, want := range []string{"if o[0] < 5:", "leaf class=false", "leaf class=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	tr, err := Train([]Example{{X: []int{1}, Y: true}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Accuracy(nil) != 1 {
+		t.Fatal("Accuracy(nil) should be 1")
+	}
+}
+
+func TestGeneralizationOnHoldout(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := func(n int) []Example {
+		exs := make([]Example, n)
+		for i := range exs {
+			x := []int{rng.Intn(20), rng.Intn(20), rng.Intn(20)}
+			exs[i] = Example{X: x, Y: x[0] < 12 && x[2] >= 4}
+		}
+		return exs
+	}
+	train, test := gen(600), gen(300)
+	tr, err := Train(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := tr.Accuracy(test); acc < 0.93 {
+		t.Fatalf("holdout accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// y depends only on x0; x1 and x2 are noise features.
+	rng := rand.New(rand.NewSource(9))
+	var exs []Example
+	for i := 0; i < 500; i++ {
+		x := []int{rng.Intn(10), rng.Intn(10), rng.Intn(10)}
+		exs = append(exs, Example{X: x, Y: x[0] >= 5})
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length = %d, want 3", len(imp))
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	if imp[0] < 0.9 {
+		t.Fatalf("x0 importance = %v, want dominant", imp[0])
+	}
+}
+
+func TestFeatureImportanceLeafOnly(t *testing.T) {
+	tr, err := Train([]Example{{X: []int{1}, Y: true}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp := tr.FeatureImportance(); imp != nil {
+		t.Fatalf("leaf-only tree importance = %v, want nil", imp)
+	}
+}

@@ -1,0 +1,52 @@
+package dtree
+
+import "math"
+
+// FeatureImportance attributes the tree's information gain to features:
+// each internal node contributes its weighted gain to the feature it splits
+// on, and the totals are normalized to sum to 1. In conditions mining this
+// answers "which output component o[i] actually drives the branch".
+//
+// A tree with no internal nodes returns nil.
+func (t *Tree) FeatureImportance() []float64 {
+	raw := make([]float64, t.Features)
+	total := 0.0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.Leaf {
+			return
+		}
+		// Weighted impurity decrease at this node, reconstructed from the
+		// positive ratios carried on the nodes.
+		parent := entropyP(n.PosRatio) * float64(n.N)
+		children := 0.0
+		for _, c := range []*Node{n.Left, n.Right} {
+			if c != nil {
+				children += entropyP(c.PosRatio) * float64(c.N)
+			}
+		}
+		gain := parent - children
+		if gain > 0 && n.Feature >= 0 && n.Feature < len(raw) {
+			raw[n.Feature] += gain
+			total += gain
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	if total == 0 {
+		return nil
+	}
+	for i := range raw {
+		raw[i] /= total
+	}
+	return raw
+}
+
+// entropyP is the binary entropy of a probability.
+func entropyP(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}

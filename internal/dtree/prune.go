@@ -1,0 +1,70 @@
+package dtree
+
+// Reduced-error pruning: the classical post-pruning scheme surveyed in
+// [WK91]. Given a validation set disjoint from training, every internal
+// node is considered bottom-up; if replacing its subtree with a majority
+// leaf does not reduce validation accuracy, the subtree is pruned. The
+// result is a smaller tree that generalizes at least as well on the
+// validation data — and much simpler extracted rules, which matters because
+// Section 7 wants "a set of simple rules".
+
+// Prune applies reduced-error pruning in place using the validation
+// examples and returns the number of subtrees collapsed. An empty
+// validation set prunes nothing.
+func (t *Tree) Prune(validation []Example) int {
+	if len(validation) == 0 || t.Root == nil {
+		return 0
+	}
+	pruned := 0
+	t.Root = pruneNode(t.Root, validation, &pruned)
+	return pruned
+}
+
+// pruneNode returns the (possibly collapsed) node after pruning its
+// children against the validation examples that reach it.
+func pruneNode(n *Node, val []Example, pruned *int) *Node {
+	if n.Leaf {
+		return n
+	}
+	var left, right []Example
+	for _, ex := range val {
+		if feature(ex.X, n.Feature) < n.Threshold {
+			left = append(left, ex)
+		} else {
+			right = append(right, ex)
+		}
+	}
+	n.Left = pruneNode(n.Left, left, pruned)
+	n.Right = pruneNode(n.Right, right, pruned)
+
+	// Candidate leaf: majority class from training statistics carried on
+	// the node itself.
+	leafClass := n.PosRatio >= 0.5
+	leafCorrect := 0
+	subtreeCorrect := 0
+	for _, ex := range val {
+		if leafClass == ex.Y {
+			leafCorrect++
+		}
+		if predictFrom(n, ex.X) == ex.Y {
+			subtreeCorrect++
+		}
+	}
+	if leafCorrect >= subtreeCorrect {
+		*pruned += size(n) / 2 // internal nodes collapsed (approximate)
+		return &Node{Leaf: true, Class: leafClass, PosRatio: n.PosRatio, N: n.N}
+	}
+	return n
+}
+
+// predictFrom descends from an arbitrary node.
+func predictFrom(n *Node, x []int) bool {
+	for !n.Leaf {
+		if feature(x, n.Feature) < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}

@@ -1,0 +1,105 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// noisyThresholdData generates y = (x0 >= 5) with label noise, which makes
+// unpruned trees overfit.
+func noisyThresholdData(rng *rand.Rand, n int, noise float64) []Example {
+	exs := make([]Example, n)
+	for i := range exs {
+		x := []int{rng.Intn(10), rng.Intn(10), rng.Intn(10)}
+		y := x[0] >= 5
+		if rng.Float64() < noise {
+			y = !y
+		}
+		exs[i] = Example{X: x, Y: y}
+	}
+	return exs
+}
+
+func TestPruneImprovesOrKeepsValidationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := noisyThresholdData(rng, 400, 0.15)
+	val := noisyThresholdData(rng, 200, 0.15)
+	test := noisyThresholdData(rng, 400, 0) // clean test labels
+
+	tr, err := Train(train, Config{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeVal := tr.Accuracy(val)
+	beforeSize := tr.Size()
+	pruned := tr.Prune(val)
+	if tr.Accuracy(val) < beforeVal {
+		t.Fatalf("pruning reduced validation accuracy: %v -> %v", beforeVal, tr.Accuracy(val))
+	}
+	if tr.Size() > beforeSize {
+		t.Fatalf("pruning grew the tree: %d -> %d", beforeSize, tr.Size())
+	}
+	if pruned == 0 && beforeSize > 3 {
+		t.Fatalf("expected some pruning of an overfit tree (size %d)", beforeSize)
+	}
+	// The pruned tree should be close to the true concept on clean labels.
+	if acc := tr.Accuracy(test); acc < 0.9 {
+		t.Fatalf("pruned tree test accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestPruneCollapsesPureNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var train, val []Example
+	for i := 0; i < 300; i++ {
+		train = append(train, Example{X: []int{rng.Intn(10), rng.Intn(10)}, Y: rng.Intn(2) == 0})
+		val = append(val, Example{X: []int{rng.Intn(10), rng.Intn(10)}, Y: rng.Intn(2) == 0})
+	}
+	tr, err := Train(train, Config{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeSize := tr.Size()
+	tr.Prune(val)
+	// Pure-noise labels: pruning cannot collapse to a single leaf with
+	// certainty (a subtree can beat the majority leaf on the validation
+	// sample by chance), but the overfit tree must shrink substantially.
+	if tr.Size()*2 > beforeSize {
+		t.Fatalf("pruned pure-noise tree only shrank from %d to %d nodes", beforeSize, tr.Size())
+	}
+}
+
+func TestPruneEmptyValidationNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, err := Train(noisyThresholdData(rng, 100, 0.2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Size()
+	if n := tr.Prune(nil); n != 0 {
+		t.Fatalf("Prune(nil) pruned %d", n)
+	}
+	if tr.Size() != before {
+		t.Fatal("Prune(nil) changed the tree")
+	}
+}
+
+func TestPrunePreservesPerfectTree(t *testing.T) {
+	var exs []Example
+	for v := 0; v < 10; v++ {
+		for r := 0; r < 5; r++ {
+			exs = append(exs, Example{X: []int{v}, Y: v >= 5})
+		}
+	}
+	tr, err := Train(exs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Prune(exs)
+	if acc := tr.Accuracy(exs); acc != 1 {
+		t.Fatalf("pruning broke a perfect tree: accuracy %v", acc)
+	}
+	if tr.Root.Leaf {
+		t.Fatal("perfect split pruned away")
+	}
+}

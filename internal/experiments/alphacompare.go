@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"procmine/internal/alpha"
+	"procmine/internal/core"
+	"procmine/internal/flowmark"
+	"procmine/internal/graph"
+)
+
+// AlphaCompareConfig parameterizes the head-to-head between the paper's
+// Algorithm 2 and the α-algorithm (the field's later textbook baseline) on
+// the Flowmark replica processes.
+type AlphaCompareConfig struct {
+	// Executions per process (default: the paper's Table 3 counts).
+	Executions map[string]int
+	// Seed drives the engines.
+	Seed int64
+}
+
+func (c AlphaCompareConfig) withDefaults() AlphaCompareConfig {
+	if c.Executions == nil {
+		c.Executions = flowmark.PaperExecutions
+	}
+	if c.Seed == 0 {
+		c.Seed = 1998
+	}
+	return c
+}
+
+// AlphaCompareRow is one process's comparison: edge precision/recall of
+// each miner's graph against the defining process graph.
+type AlphaCompareRow struct {
+	Process                     string
+	AGLPrecision, AGLRecall     float64
+	AlphaPrecision, AlphaRecall float64
+	AGLExact, AlphaExact        bool
+}
+
+// AlphaCompareResult is the comparison outcome.
+type AlphaCompareResult struct {
+	Config AlphaCompareConfig
+	Rows   []AlphaCompareRow
+}
+
+// RunAlphaCompare mines each replica's log with both algorithms and scores
+// the resulting structures against the defining graph. For α the causal
+// graph (an edge per place connection) is the comparable structure.
+func RunAlphaCompare(cfg AlphaCompareConfig) (*AlphaCompareResult, error) {
+	cfg = cfg.withDefaults()
+	res := &AlphaCompareResult{Config: cfg}
+	for _, name := range flowmark.ProcessNames() {
+		p, err := flowmark.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		m := cfg.Executions[name]
+		if m == 0 {
+			m = flowmark.PaperExecutions[name]
+		}
+		eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		l, err := eng.GenerateLog("ac_", m, 0)
+		if err != nil {
+			return nil, err
+		}
+		agl, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: alpha-compare %s: %w", name, err)
+		}
+		alphaG := alpha.Mine(l).CausalGraph()
+
+		dAGL := graph.Compare(p.Graph, agl)
+		dAlpha := graph.Compare(p.Graph, alphaG)
+		res.Rows = append(res.Rows, AlphaCompareRow{
+			Process:        name,
+			AGLPrecision:   dAGL.Precision(),
+			AGLRecall:      dAGL.Recall(),
+			AlphaPrecision: dAlpha.Precision(),
+			AlphaRecall:    dAlpha.Recall(),
+			AGLExact:       dAGL.Equal(),
+			AlphaExact:     dAlpha.Equal(),
+		})
+	}
+	return res, nil
+}
+
+// WriteReport renders the comparison.
+func (r *AlphaCompareResult) WriteReport(w io.Writer) error {
+	fmt.Fprintln(w, "AGL (Algorithm 2) vs alpha-algorithm on the Flowmark replicas")
+	fmt.Fprintf(w, "%-20s %10s %10s %8s %12s %12s %8s\n",
+		"process", "AGL prec", "AGL rec", "exact", "alpha prec", "alpha rec", "exact")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-20s %10.3f %10.3f %8v %12.3f %12.3f %8v\n",
+			row.Process, row.AGLPrecision, row.AGLRecall, row.AGLExact,
+			row.AlphaPrecision, row.AlphaRecall, row.AlphaExact)
+	}
+	return nil
+}

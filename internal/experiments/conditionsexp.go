@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"procmine/internal/conditions"
+	"procmine/internal/dtree"
+	"procmine/internal/flowmark"
+	"procmine/internal/graph"
+)
+
+// ConditionsConfig parameterizes the Section 7 experiment: learn the Boolean
+// edge conditions of the Flowmark replica processes (which, unlike the
+// paper's installation, do log output parameters) and score them on holdout
+// logs.
+type ConditionsConfig struct {
+	// TrainExecutions and HoldoutExecutions size the two logs.
+	TrainExecutions, HoldoutExecutions int
+	// Seed drives the engines.
+	Seed int64
+	// Tree configures the decision-tree learner.
+	Tree dtree.Config
+}
+
+func (c ConditionsConfig) withDefaults() ConditionsConfig {
+	if c.TrainExecutions == 0 {
+		c.TrainExecutions = 300
+	}
+	if c.HoldoutExecutions == 0 {
+		c.HoldoutExecutions = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 1998
+	}
+	if c.Tree.MinLeaf == 0 {
+		c.Tree.MinLeaf = 5
+	}
+	return c
+}
+
+// EdgeOutcome is one edge's learned condition and holdout score.
+type EdgeOutcome struct {
+	Edge            graph.Edge
+	Condition       string
+	TrainExamples   int
+	HoldoutAccuracy float64
+	HoldoutN        int
+}
+
+// ConditionsRow aggregates one process.
+type ConditionsRow struct {
+	Process      string
+	Edges        []EdgeOutcome
+	MeanAccuracy float64
+	// Pruned metrics compare plain learning against reduced-error pruning
+	// (LearnWithValidation at 30% validation): mean holdout accuracy and
+	// mean tree size for each.
+	MeanAccuracyPruned       float64
+	MeanTreeSize, MeanPruned float64
+}
+
+// ConditionsResult is the Section 7 experiment outcome.
+type ConditionsResult struct {
+	Config ConditionsConfig
+	Rows   []ConditionsRow
+}
+
+// RunConditions learns conditions for every Flowmark replica and evaluates
+// them on holdout logs.
+func RunConditions(cfg ConditionsConfig) (*ConditionsResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ConditionsResult{Config: cfg}
+	for _, name := range flowmark.ProcessNames() {
+		p, err := flowmark.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		train, err := eng.GenerateLog("tr_", cfg.TrainExecutions, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: conditions train log for %s: %w", name, err)
+		}
+		holdout, err := eng.GenerateLog("ho_", cfg.HoldoutExecutions, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: conditions holdout log for %s: %w", name, err)
+		}
+		learned := conditions.Learn(train, p.Graph, cfg.Tree)
+		pruned := conditions.LearnWithValidation(train, p.Graph, cfg.Tree, 0.3)
+		row := ConditionsRow{Process: name}
+		sum, sumPruned, size, sizePruned := 0.0, 0.0, 0.0, 0.0
+		for _, e := range p.Graph.Edges() {
+			le := learned[e]
+			acc, n := conditions.EdgeAccuracy(holdout, e, le.Condition)
+			row.Edges = append(row.Edges, EdgeOutcome{
+				Edge:            e,
+				Condition:       le.Condition.String(),
+				TrainExamples:   le.Examples,
+				HoldoutAccuracy: acc,
+				HoldoutN:        n,
+			})
+			sum += acc
+			if le.Tree != nil {
+				size += float64(le.Tree.Size())
+			}
+			lp := pruned[e]
+			accP, _ := conditions.EdgeAccuracy(holdout, e, lp.Condition)
+			sumPruned += accP
+			if lp.Tree != nil {
+				sizePruned += float64(lp.Tree.Size())
+			}
+		}
+		if n := float64(len(row.Edges)); n > 0 {
+			row.MeanAccuracy = sum / n
+			row.MeanAccuracyPruned = sumPruned / n
+			row.MeanTreeSize = size / n
+			row.MeanPruned = sizePruned / n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteReport renders the learned conditions and their holdout accuracy.
+func (r *ConditionsResult) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "Section 7: conditions mining (train m=%d, holdout m=%d)\n",
+		r.Config.TrainExecutions, r.Config.HoldoutExecutions)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "\n%s (mean holdout accuracy %.3f plain / %.3f pruned; mean tree size %.1f -> %.1f)\n",
+			row.Process, row.MeanAccuracy, row.MeanAccuracyPruned, row.MeanTreeSize, row.MeanPruned)
+		for _, e := range row.Edges {
+			fmt.Fprintf(w, "  %-34s acc=%.3f (n=%d, train=%d)  f = %s\n",
+				e.Edge.String(), e.HoldoutAccuracy, e.HoldoutN, e.TrainExamples, e.Condition)
+		}
+	}
+	return nil
+}

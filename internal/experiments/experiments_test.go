@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSyntheticSmall(t *testing.T) {
+	cfg := SyntheticConfig{
+		Vertices:   []int{10, 25},
+		Executions: []int{50, 200},
+		Seed:       7,
+	}
+	res, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.EdgesPresent <= 0 || c.EdgesFound <= 0 {
+			t.Errorf("cell %+v has empty graphs", c)
+		}
+		if c.LogBytes <= 0 {
+			t.Errorf("cell %+v has zero log size", c)
+		}
+		if c.MineTime <= 0 {
+			t.Errorf("cell %+v has zero mining time", c)
+		}
+	}
+	// Log size grows with m for fixed n.
+	if res.cell(10, 50).LogBytes >= res.cell(10, 200).LogBytes {
+		t.Error("log size did not grow with executions")
+	}
+
+	var t1, t2 strings.Builder
+	if err := res.WriteTable1(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1.String(), "Table 1") || !strings.Contains(t1.String(), "200") {
+		t.Errorf("Table 1 output malformed:\n%s", t1.String())
+	}
+	if err := res.WriteTable2(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2.String(), "edges present") {
+		t.Errorf("Table 2 output malformed:\n%s", t2.String())
+	}
+}
+
+func TestRunGraph10(t *testing.T) {
+	res, err := RunGraph10(Graph10Config{CurvePoints: []int{50}, CurveTrials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diff.Equal() {
+		t.Fatalf("default Figure 7 run should recover exactly: %+v", res.Diff)
+	}
+	if len(res.Curve) != 1 || res.Curve[0] < 0 || res.Curve[0] > 1 {
+		t.Fatalf("curve = %v", res.Curve)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 7", "recovered exactly", "digraph Graph10"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunFlowmark(t *testing.T) {
+	res, err := RunFlowmark(FlowmarkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	wantShapes := map[string][2]int{
+		"Upload_and_Notify": {7, 7},
+		"StressSleep":       {14, 23},
+		"Pend_Block":        {6, 7},
+		"Local_Swap":        {12, 11},
+		"UWI_Pilot":         {7, 7},
+	}
+	for _, row := range res.Rows {
+		w := wantShapes[row.Name]
+		if !row.Recovered {
+			t.Errorf("%s not recovered", row.Name)
+		}
+		if row.Vertices != w[0] || row.Edges != w[1] {
+			t.Errorf("%s mined %d/%d vertices/edges, want %d/%d",
+				row.Name, row.Vertices, row.Edges, w[0], w[1])
+		}
+		if row.LogBytes <= 0 {
+			t.Errorf("%s: zero log size", row.Name)
+		}
+	}
+	var t3, figs strings.Builder
+	if err := res.WriteTable3(&t3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3.String(), "Local_Swap") {
+		t.Errorf("Table 3 output malformed:\n%s", t3.String())
+	}
+	if err := res.WriteFigures(&figs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 8", "Figure 12", "digraph StressSleep"} {
+		if !strings.Contains(figs.String(), want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}
+
+func TestRunNoise(t *testing.T) {
+	cfg := NoiseConfig{
+		ChainLength: 5,
+		Executions:  100,
+		Epsilons:    []float64{0.05, 0.2},
+		Trials:      5,
+		Seed:        3,
+	}
+	res, err := RunNoise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.RecoveredThresholded < c.RecoveredPlain {
+			t.Errorf("eps=%v: thresholded recovery %.2f worse than plain %.2f",
+				c.Epsilon, c.RecoveredThresholded, c.RecoveredPlain)
+		}
+		if c.RecoveredThresholded != 1 {
+			t.Errorf("eps=%v: thresholded recovery %.2f, want 1 at these sizes",
+				c.Epsilon, c.RecoveredThresholded)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Section 6") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+	if _, err := RunNoise(NoiseConfig{ChainLength: 30}); err == nil {
+		t.Error("chain length > 26 accepted")
+	}
+}
+
+func TestRunConditions(t *testing.T) {
+	cfg := ConditionsConfig{TrainExecutions: 120, HoldoutExecutions: 60, Seed: 5}
+	res, err := RunConditions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeanAccuracy < 0.9 {
+			t.Errorf("%s: mean holdout accuracy %.3f < 0.9", row.Process, row.MeanAccuracy)
+		}
+		if len(row.Edges) == 0 {
+			t.Errorf("%s: no edges scored", row.Process)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Section 7") || !strings.Contains(b.String(), "StressSleep") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	cfg := ScalingConfig{
+		Vertices:    15,
+		Points:      []int{200, 400, 800, 1600},
+		Repetitions: 2,
+		Seed:        9,
+	}
+	res, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	// Monotone-ish growth and a decent linear fit.
+	if res.Points[3].MineTime <= res.Points[0].MineTime {
+		t.Errorf("runtime did not grow with m: %v", res.Points)
+	}
+	if res.R2 < 0.9 {
+		t.Errorf("linear fit R^2 = %.4f, want >= 0.9 (points %v)", res.R2, res.Points)
+	}
+	if res.SlopePerExec <= 0 {
+		t.Errorf("slope = %v, want positive", res.SlopePerExec)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "linear fit") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	cfg := RobustnessConfig{
+		Vertices:   10,
+		Executions: 150,
+		Rates:      []float64{0.02, 0.1},
+		Trials:     3,
+		Seed:       13,
+	}
+	res, err := RunRobustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 24 { // 2 rates x 3 kinds x 4 policies
+		t.Fatalf("got %d cells, want 24", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Precision < 0 || c.Precision > 1 || c.Recall < 0 || c.Recall > 1 {
+			t.Errorf("cell %+v out of range", c)
+		}
+	}
+	// The headline finding: on partial-execution logs the adaptive per-pair
+	// threshold keeps far more true edges than the paper's global T.
+	for _, rate := range cfg.Rates {
+		global := res.Cell("swap", rate, "global")
+		adaptive := res.Cell("swap", rate, "adaptive")
+		if global == nil || adaptive == nil {
+			t.Fatal("missing cells")
+		}
+		if adaptive.Recall <= global.Recall {
+			t.Errorf("swap@%v: adaptive recall %.3f not above global %.3f",
+				rate, adaptive.Recall, global.Recall)
+		}
+		if adaptive.Recall < 0.8 {
+			t.Errorf("swap@%v: adaptive recall %.3f too low", rate, adaptive.Recall)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "robustness") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+}
+
+func TestWriteWorkedExamples(t *testing.T) {
+	var b strings.Builder
+	if err := WriteWorkedExamples(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Example 3", "Example 6", "Example 7", "Example 8",
+		"B and D independent:   true",
+		"strongly connected components: [[A] [B] [C D E] [F]]",
+		"graph contains a cycle: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("worked examples missing %q", want)
+		}
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := RunBaseline(BaselineConfig{MaxParallel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // p = 2..5
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The graph stays linear in p; the FSM blows up at least 2^p.
+		if row.GraphV != row.Parallel+2 {
+			t.Errorf("p=%d: graph vertices = %d, want %d", row.Parallel, row.GraphV, row.Parallel+2)
+		}
+		if row.GraphE != 2*row.Parallel {
+			t.Errorf("p=%d: graph edges = %d, want %d", row.Parallel, row.GraphE, 2*row.Parallel)
+		}
+		if row.FSMStates < 1<<row.Parallel {
+			t.Errorf("p=%d: FSM states = %d, want >= %d", row.Parallel, row.FSMStates, 1<<row.Parallel)
+		}
+	}
+	// The gap widens with p.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if float64(last.FSMStates)/float64(last.GraphV) <= float64(first.FSMStates)/float64(first.GraphV) {
+		t.Error("FSM/graph size ratio did not grow with parallelism")
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fsm states") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+	// Config clamping.
+	if clamped := (BaselineConfig{MaxParallel: 99}).withDefaults(); clamped.MaxParallel != 8 {
+		t.Errorf("MaxParallel not clamped: %d", clamped.MaxParallel)
+	}
+}
+
+func TestRunAlphaCompare(t *testing.T) {
+	res, err := RunAlphaCompare(AlphaCompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	alphaExact := 0
+	for _, row := range res.Rows {
+		if !row.AGLExact {
+			t.Errorf("%s: AGL should recover exactly", row.Process)
+		}
+		if row.AlphaExact {
+			alphaExact++
+		}
+		if row.AlphaPrecision < 0.99 {
+			t.Errorf("%s: alpha precision %.3f (overlap handling should prevent spurious causality)",
+				row.Process, row.AlphaPrecision)
+		}
+	}
+	// Alpha's adjacency-based succession misses non-adjacent causal pairs
+	// on the fully parallel UWI_Pilot (a parallel sibling always starts in
+	// between), so it must not match AGL's 5/5.
+	if alphaExact == 5 {
+		t.Error("expected alpha to miss at least one process (adjacency blindness)")
+	}
+	for _, row := range res.Rows {
+		if row.Process == "UWI_Pilot" && row.AlphaRecall >= 1 {
+			t.Errorf("UWI_Pilot: alpha recall %.3f, expected < 1", row.AlphaRecall)
+		}
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "alpha") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+}
+
+func TestRunConditionsPruningComparison(t *testing.T) {
+	res, err := RunConditions(ConditionsConfig{TrainExecutions: 150, HoldoutExecutions: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.MeanPruned > row.MeanTreeSize+0.01 {
+			t.Errorf("%s: pruned trees larger on average (%.1f > %.1f)",
+				row.Process, row.MeanPruned, row.MeanTreeSize)
+		}
+		if row.MeanAccuracyPruned+0.1 < row.MeanAccuracy {
+			t.Errorf("%s: pruning lost too much accuracy (%.3f -> %.3f)",
+				row.Process, row.MeanAccuracy, row.MeanAccuracyPruned)
+		}
+	}
+}
+
+func TestRunSyntheticIncludeIO(t *testing.T) {
+	res, err := RunSynthetic(SyntheticConfig{
+		Vertices:   []int{10},
+		Executions: []int{100},
+		Seed:       3,
+		IncludeIO:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.cell(10, 100)
+	if c == nil || c.MineTime <= 0 || c.EdgesFound == 0 {
+		t.Fatalf("IO-inclusive cell = %+v", c)
+	}
+}
+
+func TestRunOpenProblem(t *testing.T) {
+	res, err := RunOpenProblem(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(res.Rows))
+	}
+	byName := map[string]OpenProblemRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+		if r.Admissible != r.Observed+r.Extraneous {
+			t.Errorf("%s: %d != %d + %d", r.Name, r.Admissible, r.Observed, r.Extraneous)
+		}
+		if r.Admissible < r.Observed {
+			t.Errorf("%s: conformal graph admits fewer sequences than observed", r.Name)
+		}
+	}
+	// The paper's open-problem log must show extraneous executions.
+	if byName["figure5_log"].Extraneous == 0 {
+		t.Error("figure5_log: expected extraneous executions")
+	}
+	// A pure chain admits exactly its single execution.
+	if ls := byName["Local_Swap"]; ls.Admissible != 1 || ls.Extraneous != 0 {
+		t.Errorf("Local_Swap: %+v, want exactly one admissible execution", ls)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Open problem") {
+		t.Errorf("report malformed:\n%s", b.String())
+	}
+}

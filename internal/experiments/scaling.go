@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"procmine/internal/core"
+	"procmine/internal/synth"
+)
+
+// ScalingConfig parameterizes the linearity experiment behind the paper's
+// claim that "the algorithm is fast and scales linearly with the size of
+// the input for a given graph size".
+type ScalingConfig struct {
+	// Vertices fixes the graph size.
+	Vertices int
+	// Points are the log sizes m to measure.
+	Points []int
+	// Repetitions per point (median is reported).
+	Repetitions int
+	// Seed drives generation.
+	Seed int64
+}
+
+func (c ScalingConfig) withDefaults() ScalingConfig {
+	if c.Vertices == 0 {
+		c.Vertices = 25
+	}
+	if len(c.Points) == 0 {
+		c.Points = []int{250, 500, 1000, 2000, 4000, 8000}
+	}
+	if c.Repetitions == 0 {
+		c.Repetitions = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1998
+	}
+	return c
+}
+
+// ScalingPoint is one measured log size.
+type ScalingPoint struct {
+	Executions int
+	MineTime   time.Duration
+}
+
+// ScalingResult holds the series plus a least-squares linear fit of time
+// against m.
+type ScalingResult struct {
+	Config ScalingConfig
+	Points []ScalingPoint
+	// SlopePerExec and Intercept are the fit t ≈ Intercept + SlopePerExec·m
+	// (seconds). R2 is the coefficient of determination; values near 1
+	// confirm linear scaling.
+	SlopePerExec, Intercept, R2 float64
+}
+
+// RunScaling measures Algorithm 2's runtime over growing logs of one fixed
+// random graph and fits a line.
+func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := synth.RandomDAG(rng, cfg.Vertices, synth.PaperEdgeProb(cfg.Vertices))
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		return nil, err
+	}
+	maxM := 0
+	for _, m := range cfg.Points {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	full := sim.GenerateLog("sc_", maxM)
+
+	res := &ScalingResult{Config: cfg}
+	for _, m := range cfg.Points {
+		l := full
+		if m < full.Len() {
+			sub := *full
+			sub.Executions = full.Executions[:m]
+			l = &sub
+		}
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < cfg.Repetitions; r++ {
+			t0 := time.Now()
+			if _, err := core.MineGeneralDAG(l, core.Options{}); err != nil {
+				return nil, err
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		res.Points = append(res.Points, ScalingPoint{Executions: m, MineTime: best})
+	}
+	res.fit()
+	return res, nil
+}
+
+// fit computes the least-squares line and R².
+func (r *ScalingResult) fit() {
+	n := float64(len(r.Points))
+	if n < 2 {
+		r.R2 = 1
+		return
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range r.Points {
+		x, y := float64(p.Executions), p.MineTime.Seconds()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		r.R2 = 1
+		return
+	}
+	r.SlopePerExec = (n*sxy - sx*sy) / den
+	r.Intercept = (sy - r.SlopePerExec*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for _, p := range r.Points {
+		x, y := float64(p.Executions), p.MineTime.Seconds()
+		pred := r.Intercept + r.SlopePerExec*x
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	if ssTot == 0 {
+		r.R2 = 1
+		return
+	}
+	r.R2 = 1 - ssRes/ssTot
+}
+
+// WriteReport renders the scaling series and fit.
+func (r *ScalingResult) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "Scaling: Algorithm 2 runtime vs executions (n=%d vertices)\n", r.Config.Vertices)
+	fmt.Fprintf(w, "%-12s %12s\n", "executions", "seconds")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-12d %12.4f\n", p.Executions, p.MineTime.Seconds())
+	}
+	fmt.Fprintf(w, "linear fit: t = %.3g + %.3g*m seconds, R^2 = %.4f\n",
+		r.Intercept, r.SlopePerExec, r.R2)
+	return nil
+}

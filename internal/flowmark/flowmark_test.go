@@ -1,0 +1,324 @@
+package flowmark
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"procmine/internal/conformance"
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/model"
+	"procmine/internal/wlog"
+)
+
+func TestProcessesMatchTable3Shapes(t *testing.T) {
+	want := map[string][2]int{ // vertices, edges
+		"Upload_and_Notify": {7, 7},
+		"StressSleep":       {14, 23},
+		"Pend_Block":        {6, 7},
+		"Local_Swap":        {12, 11},
+		"UWI_Pilot":         {7, 7},
+	}
+	ps := Processes()
+	if len(ps) != len(want) {
+		t.Fatalf("got %d processes, want %d", len(ps), len(want))
+	}
+	for name, p := range ps {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("unexpected process %q", name)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", name, err)
+		}
+		if p.Graph.NumVertices() != w[0] || p.Graph.NumEdges() != w[1] {
+			t.Errorf("%s: %d vertices %d edges, want %d/%d",
+				name, p.Graph.NumVertices(), p.Graph.NumEdges(), w[0], w[1])
+		}
+		if p.Name != name {
+			t.Errorf("process %q has Name %q", name, p.Name)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	p, err := Get("Local_Swap")
+	if err != nil || p.Name != "Local_Swap" {
+		t.Fatalf("Get(Local_Swap) = %v, %v", p, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) succeeded")
+	}
+	names := ProcessNames()
+	if len(names) != 5 || names[0] != "Local_Swap" {
+		t.Fatalf("ProcessNames = %v", names)
+	}
+}
+
+func TestEngineRejectsInvalidProcess(t *testing.T) {
+	bad := &model.Process{Name: "bad"}
+	if _, err := NewEngine(bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("NewEngine accepted invalid process")
+	}
+	cyc := &model.Process{
+		Name: "cyc",
+		Graph: graph.NewFromEdges(
+			graph.Edge{From: "S", To: "A"},
+			graph.Edge{From: "A", To: "B"},
+			graph.Edge{From: "B", To: "A"},
+			graph.Edge{From: "B", To: "E"},
+		),
+		Start: "S",
+		End:   "E",
+	}
+	if _, err := NewEngine(cyc, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("NewEngine accepted cyclic process")
+	}
+}
+
+func TestRunInstanceChain(t *testing.T) {
+	p := LocalSwap()
+	e, err := NewEngine(p, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := e.RunInstance("i1")
+	if err != nil {
+		t.Fatalf("RunInstance: %v", err)
+	}
+	if got, want := len(exec.Steps), 12; got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+	if exec.First() != "Start" || exec.Last() != "End" {
+		t.Fatalf("endpoints %s..%s", exec.First(), exec.Last())
+	}
+	// A chain is strictly sequential even with 3 agents.
+	for i := 1; i < len(exec.Steps); i++ {
+		if !exec.Steps[i-1].Before(exec.Steps[i]) {
+			t.Fatalf("chain steps %d and %d not sequential", i-1, i)
+		}
+	}
+	if err := conformance.Consistent(p.Graph, p.Start, p.End, exec); err != nil {
+		t.Fatalf("inconsistent: %v", err)
+	}
+}
+
+func TestRunInstanceParallelismOverlaps(t *testing.T) {
+	p := UWIPilot()
+	e, err := NewEngine(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOverlap := false
+	for i := 0; i < 50 && !sawOverlap; i++ {
+		exec, err := e.RunInstance("i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := range exec.Steps {
+			for b := a + 1; b < len(exec.Steps); b++ {
+				if exec.Steps[a].Overlaps(exec.Steps[b]) {
+					sawOverlap = true
+				}
+			}
+		}
+	}
+	if !sawOverlap {
+		t.Fatal("parallel branches never overlapped in 50 instances")
+	}
+}
+
+func TestRunInstanceRespectsConditions(t *testing.T) {
+	p := UploadAndNotify()
+	e, err := NewEngine(p, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okSeen, failSeen := false, false
+	for i := 0; i < 60; i++ {
+		exec, err := e.RunInstance("i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasOK, hasFail := false, false
+		var verifyOut wlog.Output
+		for _, s := range exec.Steps {
+			switch s.Activity {
+			case "Notify_OK":
+				hasOK = true
+			case "Notify_Fail":
+				hasFail = true
+			case "Verify":
+				verifyOut = s.Output
+			}
+		}
+		if hasOK == hasFail {
+			t.Fatalf("instance %d: exactly one notify branch must run (ok=%v fail=%v)", i, hasOK, hasFail)
+		}
+		if hasOK != (verifyOut[0] >= 5) {
+			t.Fatalf("instance %d: branch does not match Verify output %v", i, verifyOut)
+		}
+		okSeen = okSeen || hasOK
+		failSeen = failSeen || hasFail
+	}
+	if !okSeen || !failSeen {
+		t.Fatal("both branches should occur across 60 instances")
+	}
+}
+
+func TestDeadPathEliminationSkipsActivities(t *testing.T) {
+	p := PendBlock()
+	e, err := NewEngine(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{} // steps-per-execution histogram
+	for i := 0; i < 200; i++ {
+		exec, err := e.RunInstance("i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[len(exec.Steps)]++
+		if err := conformance.Consistent(p.Graph, p.Start, p.End, exec); err != nil {
+			t.Fatalf("inconsistent: %v (%s)", err, exec)
+		}
+	}
+	// Lengths 4 (both skipped), 5 (one), 6 (both) must all occur.
+	for _, n := range []int{4, 5, 6} {
+		if counts[n] == 0 {
+			t.Errorf("no execution of length %d observed: %v", n, counts)
+		}
+	}
+}
+
+func TestInstanceDiedSurfacing(t *testing.T) {
+	// A process whose only path to End is conditional and always false dies
+	// every time.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "S", To: "A"},
+		graph.Edge{From: "A", To: "E"},
+	)
+	p := &model.Process{
+		Name: "dies", Graph: g, Start: "S", End: "E",
+		Outputs: map[string]model.OutputFunc{"A": model.ConstOutput(1)},
+		Conditions: map[graph.Edge]model.Condition{
+			{From: "A", To: "E"}: model.Threshold{Index: 0, Op: model.GT, Value: 99},
+		},
+	}
+	e, err := NewEngine(p, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunInstance("i"); !errors.Is(err, ErrInstanceDied) {
+		t.Fatalf("err = %v, want ErrInstanceDied", err)
+	}
+	if _, err := e.GenerateLog("x", 3, 10); err == nil {
+		t.Fatal("GenerateLog should fail when every instance dies")
+	}
+}
+
+func TestGenerateLogSkipsDeadInstances(t *testing.T) {
+	// Rarely-dying process: End reachable via B (90%) or C (90%); both
+	// false 1% of the time.
+	g := graph.NewFromEdges(
+		graph.Edge{From: "S", To: "A"},
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "E"},
+		graph.Edge{From: "C", To: "E"},
+	)
+	p := &model.Process{
+		Name: "rare", Graph: g, Start: "S", End: "E",
+		Outputs: map[string]model.OutputFunc{
+			"S": model.UniformOutput(1, 10), "A": model.UniformOutput(2, 10),
+			"B": model.UniformOutput(1, 10), "C": model.UniformOutput(1, 10),
+			"E": model.UniformOutput(1, 10),
+		},
+		Conditions: map[graph.Edge]model.Condition{
+			{From: "A", To: "B"}: model.Threshold{Index: 0, Op: model.LT, Value: 9},
+			{From: "A", To: "C"}: model.Threshold{Index: 1, Op: model.LT, Value: 9},
+		},
+	}
+	e, err := NewEngine(p, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := e.GenerateLog("x", 100, 0)
+	if err != nil {
+		t.Fatalf("GenerateLog: %v", err)
+	}
+	if l.Len() != 100 {
+		t.Fatalf("log has %d executions, want 100", l.Len())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	mk := func() string {
+		e, err := NewEngine(StressSleep(), rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := e.GenerateLog("d", 30, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for _, x := range l.Executions {
+			s += x.String() + ";"
+		}
+		return s
+	}
+	if mk() != mk() {
+		t.Fatal("engine not deterministic for fixed seed")
+	}
+}
+
+// TestTable3Recovery reproduces the Section 8.2 result: for each Flowmark
+// process, mining a log with the paper's number of executions recovers the
+// defining process graph exactly.
+func TestTable3Recovery(t *testing.T) {
+	for name, p := range Processes() {
+		e, err := NewEngine(p, rand.New(rand.NewSource(1998)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l, err := e.GenerateLog("t3_", PaperExecutions[name], 0)
+		if err != nil {
+			t.Fatalf("%s: GenerateLog: %v", name, err)
+		}
+		mined, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: MineGeneralDAG: %v", name, err)
+		}
+		d := graph.Compare(p.Graph, mined)
+		if !d.Equal() {
+			t.Errorf("%s not recovered: missing %v extra %v", name, d.MissingEdges, d.ExtraEdges)
+		}
+	}
+}
+
+// TestExecutionsConsistentWithDefinition checks that every engine-generated
+// execution is consistent (Definition 6) with its process graph.
+func TestExecutionsConsistentWithDefinition(t *testing.T) {
+	for name, p := range Processes() {
+		e, err := NewEngine(p, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l, err := e.GenerateLog("c_", 50, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, exec := range l.Executions {
+			if err := conformance.Consistent(p.Graph, p.Start, p.End, exec); err != nil {
+				t.Errorf("%s: %v", name, err)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package flowmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/model"
+	"procmine/internal/wlog"
+)
+
+func allProcesses() []*model.Process {
+	var out []*model.Process
+	for _, name := range ProcessNames() {
+		p, _ := Get(name)
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestInstallationAuditTrailSorted(t *testing.T) {
+	inst, err := NewInstallation(allProcesses(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := inst.AuditTrail(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty audit trail")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("audit trail not time-sorted at %d", i)
+		}
+	}
+	first, last := timeSpread(events)
+	if !first.Before(last) {
+		t.Fatal("degenerate time spread")
+	}
+}
+
+func TestInstallationDemuxAndMine(t *testing.T) {
+	inst, err := NewInstallation(allProcesses(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := inst.AuditTrail(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := Demux(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 5 {
+		t.Fatalf("demuxed into %d processes, want 5: %v", len(logs), keys(logs))
+	}
+	for name, l := range logs {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatalf("unexpected process %q in demux", name)
+		}
+		if l.Len() != 60 {
+			t.Errorf("%s: %d executions, want 60", name, l.Len())
+		}
+		mined, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// 60 executions suffice for the smaller processes; for all five we
+		// at least require a supergraph-free comparison on vertices and
+		// give exact equality a chance.
+		d := graph.Compare(p.Graph, mined)
+		if len(d.MissingVertices) != 0 || len(d.ExtraVertices) != 0 {
+			t.Errorf("%s: vertex mismatch: %+v", name, d)
+		}
+	}
+}
+
+func TestDemuxUnprefixedIDs(t *testing.T) {
+	p, _ := Get("Local_Swap")
+	eng, err := NewEngine(p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := eng.GenerateLog("ls_", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := Demux(l.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs are "ls_00001"-style (no '/'), so they group under "".
+	if _, ok := logs[""]; !ok {
+		t.Fatalf("unprefixed IDs not grouped under empty key: %v", keys(logs))
+	}
+}
+
+func keys(m map[string]*wlog.Log) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

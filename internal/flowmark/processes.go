@@ -1,0 +1,233 @@
+package flowmark
+
+import (
+	"fmt"
+	"sort"
+
+	"procmine/internal/graph"
+	"procmine/internal/model"
+)
+
+// The paper's Table 3 mined five processes from a Flowmark installation:
+//
+//	Process            vertices  edges  executions
+//	Upload_and_Notify      7       7       134
+//	StressSleep           14      23       160
+//	Pend_Block             6       7       121
+//	Local_Swap            12      11        24
+//	UWI_Pilot              7       7       134
+//
+// The original process definitions are IBM-internal; these replicas are
+// plausible processes with exactly the paper's vertex and edge counts,
+// annotated with output functions and Boolean edge conditions so the engine
+// can execute them and the conditions miner has ground truth to learn. Each
+// replica is constructed so that a log of the paper's size lets Algorithm 2
+// recover the defining graph exactly (the paper's "in every case, our
+// algorithm was able to recover the underlying process").
+
+// PaperExecutions maps each Table 3 process name to the number of executions
+// in the paper's log.
+var PaperExecutions = map[string]int{
+	"Upload_and_Notify": 134,
+	"StressSleep":       160,
+	"Pend_Block":        121,
+	"Local_Swap":        24,
+	"UWI_Pilot":         134,
+}
+
+// Processes returns the five Table 3 process replicas keyed by name.
+func Processes() map[string]*model.Process {
+	return map[string]*model.Process{
+		"Upload_and_Notify": UploadAndNotify(),
+		"StressSleep":       StressSleep(),
+		"Pend_Block":        PendBlock(),
+		"Local_Swap":        LocalSwap(),
+		"UWI_Pilot":         UWIPilot(),
+	}
+}
+
+// ProcessNames returns the Table 3 process names in sorted order.
+func ProcessNames() []string {
+	names := make([]string, 0, len(PaperExecutions))
+	for n := range PaperExecutions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// uniformOutputs gives every activity of g a k-wide uniform output in
+// [0, 10), the convention shared by all replicas.
+func uniformOutputs(g *graph.Digraph, k int) map[string]model.OutputFunc {
+	outs := make(map[string]model.OutputFunc, g.NumVertices())
+	for _, v := range g.Vertices() {
+		outs[v] = model.UniformOutput(k, 10)
+	}
+	return outs
+}
+
+// UploadAndNotify is a 7-vertex, 7-edge process: a chain with an exclusive
+// success/failure notification branch.
+//
+//	Start -> Upload -> Verify -> {Notify_OK | Notify_Fail} -> Log -> End
+func UploadAndNotify() *model.Process {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "Start", To: "Upload"},
+		graph.Edge{From: "Upload", To: "Verify"},
+		graph.Edge{From: "Verify", To: "Notify_OK"},
+		graph.Edge{From: "Verify", To: "Notify_Fail"},
+		graph.Edge{From: "Notify_OK", To: "Log"},
+		graph.Edge{From: "Notify_Fail", To: "Log"},
+		graph.Edge{From: "Log", To: "End"},
+	)
+	return &model.Process{
+		Name:    "Upload_and_Notify",
+		Graph:   g,
+		Start:   "Start",
+		End:     "End",
+		Outputs: uniformOutputs(g, 2),
+		Conditions: map[graph.Edge]model.Condition{
+			{From: "Verify", To: "Notify_OK"}:   model.Threshold{Index: 0, Op: model.GE, Value: 5},
+			{From: "Verify", To: "Notify_Fail"}: model.Threshold{Index: 0, Op: model.LT, Value: 5},
+		},
+	}
+}
+
+// UWIPilot is a 7-vertex, 7-edge process with two unconditional parallel
+// branches joined at the terminating activity.
+//
+//	Start -> Register -> {Screen -> Assess | Interview -> Evaluate} -> End
+func UWIPilot() *model.Process {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "Start", To: "Register"},
+		graph.Edge{From: "Register", To: "Screen"},
+		graph.Edge{From: "Register", To: "Interview"},
+		graph.Edge{From: "Screen", To: "Assess"},
+		graph.Edge{From: "Interview", To: "Evaluate"},
+		graph.Edge{From: "Assess", To: "End"},
+		graph.Edge{From: "Evaluate", To: "End"},
+	)
+	return &model.Process{
+		Name:    "UWI_Pilot",
+		Graph:   g,
+		Start:   "Start",
+		End:     "End",
+		Outputs: uniformOutputs(g, 2),
+	}
+}
+
+// PendBlock is a 6-vertex, 7-edge process: two optional parallel checks plus
+// a direct shortcut edge taken when both checks are skipped.
+//
+//	Start -> Triage -> {Pend | Block | direct} -> Resolve -> End
+func PendBlock() *model.Process {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "Start", To: "Triage"},
+		graph.Edge{From: "Triage", To: "Pend"},
+		graph.Edge{From: "Triage", To: "Block"},
+		graph.Edge{From: "Triage", To: "Resolve"},
+		graph.Edge{From: "Pend", To: "Resolve"},
+		graph.Edge{From: "Block", To: "Resolve"},
+		graph.Edge{From: "Resolve", To: "End"},
+	)
+	return &model.Process{
+		Name:    "Pend_Block",
+		Graph:   g,
+		Start:   "Start",
+		End:     "End",
+		Outputs: uniformOutputs(g, 2),
+		Conditions: map[graph.Edge]model.Condition{
+			{From: "Triage", To: "Pend"}:  model.Threshold{Index: 0, Op: model.LT, Value: 6},
+			{From: "Triage", To: "Block"}: model.Threshold{Index: 1, Op: model.LT, Value: 6},
+			// Triage -> Resolve stays unconditional so Resolve always runs;
+			// the edge is transitively redundant whenever Pend or Block ran
+			// and necessary when both were skipped.
+		},
+	}
+}
+
+// LocalSwap is a 12-vertex, 11-edge strictly sequential process (11 edges on
+// 12 vertices with one source and one sink force a chain).
+func LocalSwap() *model.Process {
+	names := []string{
+		"Start", "Quiesce", "Snapshot", "Copy_Config", "Swap_Primary",
+		"Swap_Replica", "Verify_Swap", "Resync", "Rebalance", "Report",
+		"Unquiesce", "End",
+	}
+	g := graph.New()
+	for i := 0; i+1 < len(names); i++ {
+		g.AddEdge(names[i], names[i+1])
+	}
+	return &model.Process{
+		Name:    "Local_Swap",
+		Graph:   g,
+		Start:   "Start",
+		End:     "End",
+		Outputs: uniformOutputs(g, 2),
+	}
+}
+
+// StressSleep is the largest replica: 14 vertices and 23 edges. Init fans
+// out to five optional stress tasks (two of which can also be triggered by a
+// preceding task), every task reports to Collect, and the analysis tail has
+// optional reports and an optional archive step with skip edges.
+func StressSleep() *model.Process {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "Start", To: "Init"},
+		graph.Edge{From: "Init", To: "Task1"},
+		graph.Edge{From: "Init", To: "Task2"},
+		graph.Edge{From: "Init", To: "Task3"},
+		graph.Edge{From: "Init", To: "Task4"},
+		graph.Edge{From: "Init", To: "Task5"},
+		graph.Edge{From: "Task1", To: "Task2"},
+		graph.Edge{From: "Task3", To: "Task4"},
+		graph.Edge{From: "Task1", To: "Collect"},
+		graph.Edge{From: "Task2", To: "Collect"},
+		graph.Edge{From: "Task3", To: "Collect"},
+		graph.Edge{From: "Task4", To: "Collect"},
+		graph.Edge{From: "Task5", To: "Collect"},
+		graph.Edge{From: "Init", To: "Collect"},
+		graph.Edge{From: "Collect", To: "Analyze"},
+		graph.Edge{From: "Analyze", To: "ReportA"},
+		graph.Edge{From: "Analyze", To: "ReportB"},
+		graph.Edge{From: "Analyze", To: "Archive"},
+		graph.Edge{From: "Analyze", To: "Cleanup"},
+		graph.Edge{From: "ReportA", To: "Archive"},
+		graph.Edge{From: "ReportB", To: "Archive"},
+		graph.Edge{From: "Archive", To: "Cleanup"},
+		graph.Edge{From: "Cleanup", To: "End"},
+	)
+	lt5 := func(i int) model.Condition { return model.Threshold{Index: i, Op: model.LT, Value: 5} }
+	return &model.Process{
+		Name:    "StressSleep",
+		Graph:   g,
+		Start:   "Start",
+		End:     "End",
+		Outputs: uniformOutputs(g, 5),
+		Conditions: map[graph.Edge]model.Condition{
+			{From: "Init", To: "Task1"}:      lt5(0),
+			{From: "Init", To: "Task2"}:      lt5(1),
+			{From: "Init", To: "Task3"}:      lt5(2),
+			{From: "Init", To: "Task4"}:      lt5(3),
+			{From: "Init", To: "Task5"}:      lt5(4),
+			{From: "Task1", To: "Task2"}:     lt5(0),
+			{From: "Task3", To: "Task4"}:     lt5(0),
+			{From: "Analyze", To: "ReportA"}: lt5(0),
+			{From: "Analyze", To: "ReportB"}: lt5(1),
+			{From: "Analyze", To: "Archive"}: lt5(2),
+			// Init->Collect, Task*->Collect, Analyze->Cleanup and the rest
+			// stay unconditional: Collect and Cleanup always run, and the
+			// skip edges become necessary exactly when the optional
+			// activities they bypass are skipped.
+		},
+	}
+}
+
+// Get returns the replica process by its Table 3 name.
+func Get(name string) (*model.Process, error) {
+	p, ok := Processes()[name]
+	if !ok {
+		return nil, fmt.Errorf("flowmark: unknown process %q (have %v)", name, ProcessNames())
+	}
+	return p, nil
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteLayers renders a DAG as topological layers, a terminal-friendly
+// sketch of the control flow:
+//
+//	[layer 0] A
+//	[layer 1] B C
+//	[layer 2] D
+//	          edges: A->B A->C B->D C->D
+//
+// A vertex's layer is the length of the longest path reaching it, so every
+// edge points to a strictly later layer. Cyclic graphs are rendered with
+// the vertices of each strongly connected component collapsed into one
+// "{A B}" pseudo-vertex (the loop members), since layers are undefined
+// inside a cycle.
+func (g *Digraph) WriteLayers(w io.Writer) error {
+	work := g
+	collapsed := map[string][]string{} // pseudo-name -> members
+	if !g.IsDAG() {
+		work, collapsed = g.condense()
+	}
+	layer := map[string]int{}
+	order, err := work.TopoSort()
+	if err != nil {
+		return fmt.Errorf("graph: layering: %w", err)
+	}
+	maxLayer := 0
+	for _, v := range order {
+		l := 0
+		for _, p := range work.Predecessors(v) {
+			if layer[p]+1 > l {
+				l = layer[p] + 1
+			}
+		}
+		layer[v] = l
+		if l > maxLayer {
+			maxLayer = l
+		}
+	}
+	byLayer := make([][]string, maxLayer+1)
+	for v, l := range layer {
+		byLayer[l] = append(byLayer[l], v)
+	}
+	for l, vs := range byLayer {
+		sort.Strings(vs)
+		display := make([]string, len(vs))
+		for i, v := range vs {
+			if members, ok := collapsed[v]; ok {
+				display[i] = "{" + strings.Join(members, " ") + "}"
+			} else {
+				display[i] = v
+			}
+		}
+		if _, err := fmt.Fprintf(w, "[layer %d] %s\n", l, strings.Join(display, "  ")); err != nil {
+			return err
+		}
+	}
+	var edges []string
+	for _, e := range g.Edges() {
+		edges = append(edges, e.String())
+	}
+	_, err = fmt.Fprintf(w, "edges: %s\n", strings.Join(edges, " "))
+	return err
+}
+
+// condense returns the condensation of g (one vertex per SCC) plus the
+// mapping from multi-member pseudo-vertex names to their members.
+func (g *Digraph) condense() (*Digraph, map[string][]string) {
+	comp := map[string]string{} // vertex -> representative name
+	collapsed := map[string][]string{}
+	for _, c := range g.SCCs() {
+		name := c[0]
+		if len(c) > 1 {
+			name = "scc:" + c[0]
+			collapsed[name] = c
+		}
+		for _, v := range c {
+			comp[v] = name
+		}
+	}
+	cg := New()
+	for _, v := range g.Vertices() {
+		cg.AddVertex(comp[v])
+	}
+	for _, e := range g.Edges() {
+		cf, ct := comp[e.From], comp[e.To]
+		if cf != ct {
+			cg.AddEdge(cf, ct)
+		}
+	}
+	return cg, collapsed
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLayersDiamond(t *testing.T) {
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"A", "C"}, Edge{"B", "D"}, Edge{"C", "D"},
+	)
+	var b strings.Builder
+	if err := g.WriteLayers(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "[layer 0] A\n[layer 1] B  C\n[layer 2] D\nedges: A->B A->C B->D C->D\n"
+	if b.String() != want {
+		t.Fatalf("layers =\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteLayersLongestPath(t *testing.T) {
+	// E is reachable directly from A and via B->C; its layer must be the
+	// longest path (3), not the shortest.
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "E"}, Edge{"A", "E"},
+	)
+	var b strings.Builder
+	if err := g.WriteLayers(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[layer 3] E") {
+		t.Fatalf("E not on layer 3:\n%s", b.String())
+	}
+}
+
+func TestWriteLayersCyclic(t *testing.T) {
+	// B <-> C loop collapses into one pseudo-vertex.
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "B"}, Edge{"C", "D"},
+	)
+	var b strings.Builder
+	if err := g.WriteLayers(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "{B C}") {
+		t.Fatalf("loop not collapsed:\n%s", out)
+	}
+	if !strings.Contains(out, "C->B") {
+		t.Fatalf("edge list must still show the back edge:\n%s", out)
+	}
+}
+
+func TestWriteLayersSingleVertex(t *testing.T) {
+	g := New()
+	g.AddVertex("only")
+	var b strings.Builder
+	if err := g.WriteLayers(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[layer 0] only") {
+		t.Fatalf("single vertex rendering:\n%s", b.String())
+	}
+}

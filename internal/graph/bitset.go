@@ -1,0 +1,120 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used for
+// descendant bookkeeping in transitive closure and reduction. The zero value
+// is unusable; create one with NewBitset.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the bitset in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set. Out-of-range values are ignored.
+func (b *Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear removes i from the set. Out-of-range values are ignored.
+func (b *Bitset) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Or sets b to the union of b and other. The two bitsets must have been
+// created with the same capacity.
+func (b *Bitset) Or(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AndNot removes from b every element present in other.
+func (b *Bitset) AndNot(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// Intersects reports whether b and other share at least one element.
+func (b *Bitset) Intersects(other *Bitset) bool {
+	for i, w := range other.words {
+		if b.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset removes all elements.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Copy returns an independent copy of the bitset.
+func (b *Bitset) Copy() *Bitset {
+	nb := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(nb.words, b.words)
+	return nb
+}
+
+// Equal reports whether b and other contain exactly the same elements.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns the members of the set in increasing order.
+func (b *Bitset) Elements() []int {
+	out := make([]int, 0, b.Count())
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			out = append(out, wi*64+tz)
+			w &^= 1 << uint(tz)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Errorf("Has(%d) = false after Set", i)
+		}
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("Has(64) = true after Clear")
+	}
+	if b.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", b.Count())
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(-1)
+	b.Set(10)
+	b.Set(100)
+	if b.Count() != 0 {
+		t.Fatalf("out-of-range Set changed the set: count=%d", b.Count())
+	}
+	if b.Has(-1) || b.Has(10) {
+		t.Error("Has(out of range) = true")
+	}
+	b.Clear(-5) // must not panic
+	b.Clear(99)
+}
+
+func TestBitsetZeroCapacity(t *testing.T) {
+	b := NewBitset(0)
+	b.Set(0)
+	if b.Count() != 0 {
+		t.Error("zero-capacity bitset accepted an element")
+	}
+	nb := NewBitset(-3)
+	if nb.Len() != 0 {
+		t.Errorf("negative capacity normalized to %d, want 0", nb.Len())
+	}
+}
+
+func TestBitsetOrAndNot(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	a.Or(b)
+	if got, want := a.Elements(), []int{1, 70, 99}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after Or, elements = %v, want %v", got, want)
+	}
+	a.AndNot(b)
+	if got, want := a.Elements(), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after AndNot, elements = %v, want %v", got, want)
+	}
+}
+
+func TestBitsetIntersects(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(5)
+	b.Set(6)
+	if a.Intersects(b) {
+		t.Error("disjoint sets reported intersecting")
+	}
+	b.Set(5)
+	if !a.Intersects(b) {
+		t.Error("overlapping sets reported disjoint")
+	}
+}
+
+func TestBitsetCopyIndependence(t *testing.T) {
+	a := NewBitset(64)
+	a.Set(3)
+	c := a.Copy()
+	c.Set(7)
+	if a.Has(7) {
+		t.Error("mutating copy affected original")
+	}
+	if !c.Has(3) {
+		t.Error("copy lost original element")
+	}
+	if !a.Equal(a.Copy()) {
+		t.Error("copy not Equal to original")
+	}
+}
+
+func TestBitsetEqual(t *testing.T) {
+	a := NewBitset(64)
+	b := NewBitset(64)
+	if !a.Equal(b) {
+		t.Error("two empty sets not equal")
+	}
+	a.Set(10)
+	if a.Equal(b) {
+		t.Error("different sets reported equal")
+	}
+	c := NewBitset(128)
+	if a.Equal(c) {
+		t.Error("sets with different capacity reported equal")
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	a := NewBitset(200)
+	for i := 0; i < 200; i += 3 {
+		a.Set(i)
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", a.Count())
+	}
+}
+
+func TestBitsetElementsSorted(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := NewBitset(256)
+		seen := map[int]bool{}
+		for _, x := range xs {
+			b.Set(int(x))
+			seen[int(x)] = true
+		}
+		els := b.Elements()
+		if len(els) != len(seen) {
+			return false
+		}
+		for i, e := range els {
+			if !seen[e] {
+				return false
+			}
+			if i > 0 && els[i-1] >= e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

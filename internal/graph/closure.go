@@ -1,0 +1,87 @@
+package graph
+
+// TransitiveClosure returns a new graph with an edge u->v whenever v is
+// reachable from u in g by a path of length >= 1. For DAGs the computation
+// runs in reverse topological order using bitset unions; for graphs with
+// cycles it falls back to per-vertex DFS, which is still O(V(V+E)).
+func (g *Digraph) TransitiveClosure() *Digraph {
+	n := g.NumVertices()
+	closure := New()
+	for _, v := range g.label {
+		closure.AddVertex(v)
+	}
+	desc := g.descendantSets()
+	for u := 0; u < n; u++ {
+		for _, v := range desc[u].Elements() {
+			closure.AddEdge(g.label[u], g.label[v])
+		}
+	}
+	return closure
+}
+
+// descendantSets computes, for every vertex u, the set of vertices reachable
+// from u by a path of length >= 1. DAGs use a single reverse-topological
+// sweep; cyclic graphs use DFS from each vertex.
+func (g *Digraph) descendantSets() []*Bitset {
+	n := g.NumVertices()
+	desc := make([]*Bitset, n)
+	order, err := g.TopoSort()
+	if err == nil {
+		for i := len(order) - 1; i >= 0; i-- {
+			u := g.index[order[i]]
+			d := NewBitset(n)
+			for v := range g.succ[u] {
+				d.Set(v)
+				d.Or(desc[v])
+			}
+			desc[u] = d
+		}
+		return desc
+	}
+	for u := 0; u < n; u++ {
+		d := NewBitset(n)
+		stack := make([]int, 0, len(g.succ[u]))
+		for v := range g.succ[u] {
+			if !d.Has(v) {
+				d.Set(v)
+				stack = append(stack, v)
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for y := range g.succ[x] {
+				if !d.Has(y) {
+					d.Set(y)
+					stack = append(stack, y)
+				}
+			}
+		}
+		desc[u] = d
+	}
+	return desc
+}
+
+// SameClosure reports whether g and other have identical transitive closures
+// (same vertex set and same reachability relation).
+func (g *Digraph) SameClosure(other *Digraph) bool {
+	if g.NumVertices() != other.NumVertices() {
+		return false
+	}
+	for _, v := range g.label {
+		if !other.HasVertex(v) {
+			return false
+		}
+	}
+	a := g.TransitiveClosure()
+	b := other.TransitiveClosure()
+	if a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.From, e.To) {
+			return false
+		}
+	}
+	return true
+}

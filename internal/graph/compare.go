@@ -1,0 +1,80 @@
+package graph
+
+// Diff summarizes an edge-set comparison of a mined graph against a reference
+// graph, as used to produce Table 2 ("programmatically comparing the edge-set
+// of the two graphs").
+type Diff struct {
+	// Common counts edges present in both graphs.
+	Common int
+	// MissingEdges are reference edges absent from the mined graph.
+	MissingEdges []Edge
+	// ExtraEdges are mined edges absent from the reference graph.
+	ExtraEdges []Edge
+	// MissingVertices / ExtraVertices are vertex-set differences.
+	MissingVertices []string
+	ExtraVertices   []string
+}
+
+// Equal reports whether the two graphs have identical vertex and edge sets.
+func (d Diff) Equal() bool {
+	return len(d.MissingEdges) == 0 && len(d.ExtraEdges) == 0 &&
+		len(d.MissingVertices) == 0 && len(d.ExtraVertices) == 0
+}
+
+// Supergraph reports whether the mined graph contains every reference vertex
+// and edge (it may have extras). The paper notes the 50-vertex experiment
+// "eventually found a supergraph of the original graph".
+func (d Diff) Supergraph() bool {
+	return len(d.MissingEdges) == 0 && len(d.MissingVertices) == 0
+}
+
+// Precision returns |common| / |mined edges|, or 1 when the mined graph has
+// no edges.
+func (d Diff) Precision() float64 {
+	mined := d.Common + len(d.ExtraEdges)
+	if mined == 0 {
+		return 1
+	}
+	return float64(d.Common) / float64(mined)
+}
+
+// Recall returns |common| / |reference edges|, or 1 when the reference graph
+// has no edges.
+func (d Diff) Recall() float64 {
+	ref := d.Common + len(d.MissingEdges)
+	if ref == 0 {
+		return 1
+	}
+	return float64(d.Common) / float64(ref)
+}
+
+// Compare diffs mined against reference.
+func Compare(reference, mined *Digraph) Diff {
+	var d Diff
+	for _, v := range reference.Vertices() {
+		if !mined.HasVertex(v) {
+			d.MissingVertices = append(d.MissingVertices, v)
+		}
+	}
+	for _, v := range mined.Vertices() {
+		if !reference.HasVertex(v) {
+			d.ExtraVertices = append(d.ExtraVertices, v)
+		}
+	}
+	for _, e := range reference.Edges() {
+		if mined.HasEdge(e.From, e.To) {
+			d.Common++
+		} else {
+			d.MissingEdges = append(d.MissingEdges, e)
+		}
+	}
+	for _, e := range mined.Edges() {
+		if !reference.HasEdge(e.From, e.To) {
+			d.ExtraEdges = append(d.ExtraEdges, e)
+		}
+	}
+	return d
+}
+
+// EqualGraphs reports whether a and b have identical vertex and edge sets.
+func EqualGraphs(a, b *Digraph) bool { return Compare(a, b).Equal() }

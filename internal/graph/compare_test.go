@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCompareEqual(t *testing.T) {
+	a := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	b := NewFromEdges(Edge{"B", "C"}, Edge{"A", "B"})
+	d := Compare(a, b)
+	if !d.Equal() {
+		t.Fatalf("identical graphs not Equal: %+v", d)
+	}
+	if d.Common != 2 {
+		t.Fatalf("Common = %d, want 2", d.Common)
+	}
+	if d.Precision() != 1 || d.Recall() != 1 {
+		t.Fatalf("precision/recall = %v/%v, want 1/1", d.Precision(), d.Recall())
+	}
+	if !EqualGraphs(a, b) {
+		t.Fatal("EqualGraphs = false")
+	}
+}
+
+func TestCompareMissingAndExtra(t *testing.T) {
+	ref := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "D"})
+	mined := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"A", "C"})
+	d := Compare(ref, mined)
+	if d.Equal() {
+		t.Fatal("different graphs reported Equal")
+	}
+	if got, want := d.MissingEdges, []Edge{{"C", "D"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MissingEdges = %v, want %v", got, want)
+	}
+	if got, want := d.ExtraEdges, []Edge{{"A", "C"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtraEdges = %v, want %v", got, want)
+	}
+	if got, want := d.MissingVertices, []string{"D"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MissingVertices = %v, want %v", got, want)
+	}
+	if math.Abs(d.Precision()-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v, want 2/3", d.Precision())
+	}
+	if math.Abs(d.Recall()-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v, want 2/3", d.Recall())
+	}
+}
+
+func TestCompareSupergraph(t *testing.T) {
+	ref := NewFromEdges(Edge{"A", "B"})
+	mined := NewFromEdges(Edge{"A", "B"}, Edge{"A", "C"})
+	d := Compare(ref, mined)
+	if !d.Supergraph() {
+		t.Fatal("Supergraph = false for a true supergraph")
+	}
+	if d.Equal() {
+		t.Fatal("supergraph reported Equal")
+	}
+	// Reverse direction: mined misses an edge, so not a supergraph.
+	d2 := Compare(mined, ref)
+	if d2.Supergraph() {
+		t.Fatal("Supergraph = true when edges are missing")
+	}
+}
+
+func TestCompareEmptyGraphs(t *testing.T) {
+	d := Compare(New(), New())
+	if !d.Equal() {
+		t.Fatal("two empty graphs not Equal")
+	}
+	if d.Precision() != 1 || d.Recall() != 1 {
+		t.Fatalf("empty precision/recall = %v/%v, want 1/1", d.Precision(), d.Recall())
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotOptions controls DOT rendering.
+type DotOptions struct {
+	// Name is the graph name in the emitted "digraph <Name> { ... }".
+	Name string
+	// Rankdir sets layout direction ("LR", "TB", ...). Empty omits the attr.
+	Rankdir string
+	// Highlight marks these vertices with a distinct style (e.g. source and
+	// sink activities).
+	Highlight []string
+	// EdgeLabels maps "From->To" to a label (e.g. a mined Boolean condition).
+	EdgeLabels map[string]string
+}
+
+// WriteDot renders the graph in Graphviz DOT form. Vertices and edges are
+// emitted in sorted order so output is reproducible.
+func (g *Digraph) WriteDot(w io.Writer, opts DotOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n", quoteDotID(name)); err != nil {
+		return err
+	}
+	if opts.Rankdir != "" {
+		if _, err := fmt.Fprintf(w, "  rankdir=%s;\n", opts.Rankdir); err != nil {
+			return err
+		}
+	}
+	hl := make(map[string]bool, len(opts.Highlight))
+	for _, v := range opts.Highlight {
+		hl[v] = true
+	}
+	for _, v := range g.Vertices() {
+		attr := ""
+		if hl[v] {
+			attr = " [shape=doublecircle]"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s;\n", quoteDotID(v), attr); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		label := ""
+		if opts.EdgeLabels != nil {
+			if l, ok := opts.EdgeLabels[e.String()]; ok && l != "" {
+				label = fmt.Sprintf(" [label=%s]", quoteDotID(l))
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %s -> %s%s;\n", quoteDotID(e.From), quoteDotID(e.To), label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Dot returns the DOT rendering as a string with default options.
+func (g *Digraph) Dot(name string) string {
+	var b strings.Builder
+	_ = g.WriteDot(&b, DotOptions{Name: name})
+	return b.String()
+}
+
+// quoteDotID quotes an identifier for DOT output if needed.
+func quoteDotID(s string) string {
+	plain := s != ""
+	for i, r := range s {
+		alpha := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		digit := r >= '0' && r <= '9'
+		if !(alpha || digit && i > 0) {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// WriteAdjacency renders a human-readable adjacency listing:
+//
+//	A -> B C
+//	B -> E
+//
+// sorted by vertex, useful in CLI output and golden tests.
+func (g *Digraph) WriteAdjacency(w io.Writer) error {
+	for _, v := range g.Vertices() {
+		succs := g.Successors(v)
+		if len(succs) == 0 {
+			if _, err := fmt.Fprintf(w, "%s ->\n", v); err != nil {
+				return err
+			}
+			continue
+		}
+		sort.Strings(succs)
+		if _, err := fmt.Fprintf(w, "%s -> %s\n", v, strings.Join(succs, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

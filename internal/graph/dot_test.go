@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotBasic(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	got := g.Dot("demo")
+	want := "digraph demo {\n  A;\n  B;\n  C;\n  A -> B;\n  B -> C;\n}\n"
+	if got != want {
+		t.Fatalf("Dot() =\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDotDefaultName(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"})
+	if !strings.HasPrefix(g.Dot(""), "digraph G {") {
+		t.Fatalf("empty name did not default to G: %s", g.Dot(""))
+	}
+}
+
+func TestDotQuoting(t *testing.T) {
+	g := NewFromEdges(Edge{"Upload and Notify", "2nd-step"})
+	got := g.Dot("my graph")
+	for _, want := range []string{
+		`digraph "my graph" {`,
+		`"Upload and Notify"`,
+		`"2nd-step"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDotOptions(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"})
+	var b strings.Builder
+	err := g.WriteDot(&b, DotOptions{
+		Name:      "opts",
+		Rankdir:   "LR",
+		Highlight: []string{"A"},
+		EdgeLabels: map[string]string{
+			"A->B": "o(A)[0] > 3",
+		},
+	})
+	if err != nil {
+		t.Fatalf("WriteDot: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rankdir=LR;",
+		"A [shape=doublecircle];",
+		`A -> B [label="o(A)[0] > 3"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAdjacency(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "C"}, Edge{"A", "B"})
+	var b strings.Builder
+	if err := g.WriteAdjacency(&b); err != nil {
+		t.Fatalf("WriteAdjacency: %v", err)
+	}
+	want := "A -> B C\nB ->\nC ->\n"
+	if b.String() != want {
+		t.Fatalf("adjacency =\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestQuoteDotID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Simple", "Simple"},
+		{"with_underscore", "with_underscore"},
+		{"v12", "v12"},
+		{"12v", `"12v"`}, // cannot start with a digit
+		{"", `""`},
+		{"has space", `"has space"`},
+		{`has"quote`, `"has\"quote"`},
+	}
+	for _, c := range cases {
+		if got := quoteDotID(c.in); got != c.want {
+			t.Errorf("quoteDotID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddVertexIdempotent(t *testing.T) {
+	g := New()
+	i := g.AddVertex("A")
+	j := g.AddVertex("A")
+	if i != j {
+		t.Fatalf("AddVertex returned different indices %d, %d for same label", i, j)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d, want 1", g.NumVertices())
+	}
+}
+
+func TestAddEdgeCreatesVertices(t *testing.T) {
+	g := New()
+	if !g.AddEdge("A", "B") {
+		t.Fatal("AddEdge(A,B) = false on first insertion")
+	}
+	if g.AddEdge("A", "B") {
+		t.Fatal("AddEdge(A,B) = true on duplicate insertion")
+	}
+	if !g.HasVertex("A") || !g.HasVertex("B") {
+		t.Fatal("AddEdge did not create endpoint vertices")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	if !g.RemoveEdge("A", "B") {
+		t.Fatal("RemoveEdge(A,B) = false for existing edge")
+	}
+	if g.RemoveEdge("A", "B") {
+		t.Fatal("RemoveEdge(A,B) = true for already-removed edge")
+	}
+	if g.RemoveEdge("X", "Y") {
+		t.Fatal("RemoveEdge on unknown vertices = true")
+	}
+	if g.HasEdge("A", "B") {
+		t.Fatal("edge A->B still present after removal")
+	}
+	if !g.HasEdge("B", "C") {
+		t.Fatal("unrelated edge B->C was removed")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestHasEdgeUnknownVertices(t *testing.T) {
+	g := New()
+	if g.HasEdge("A", "B") {
+		t.Fatal("HasEdge on empty graph = true")
+	}
+	g.AddVertex("A")
+	if g.HasEdge("A", "B") {
+		t.Fatal("HasEdge with missing target = true")
+	}
+}
+
+func TestVerticesSorted(t *testing.T) {
+	g := New()
+	for _, v := range []string{"C", "A", "B"} {
+		g.AddVertex(v)
+	}
+	got := g.Vertices()
+	want := []string{"A", "B", "C"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vertices() = %v, want %v", got, want)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := NewFromEdges(Edge{"B", "C"}, Edge{"A", "C"}, Edge{"A", "B"})
+	got := g.Edges()
+	want := []Edge{{"A", "B"}, {"A", "C"}, {"B", "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges() = %v, want %v", got, want)
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"A", "C"}, Edge{"B", "C"})
+	if got, want := g.Successors("A"), []string{"B", "C"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Successors(A) = %v, want %v", got, want)
+	}
+	if got, want := g.Predecessors("C"), []string{"A", "B"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Predecessors(C) = %v, want %v", got, want)
+	}
+	if got := g.Successors("missing"); got != nil {
+		t.Errorf("Successors(missing) = %v, want nil", got)
+	}
+	if got := g.Predecessors("missing"); got != nil {
+		t.Errorf("Predecessors(missing) = %v, want nil", got)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"A", "C"}, Edge{"B", "C"})
+	if g.OutDegree("A") != 2 || g.InDegree("A") != 0 {
+		t.Errorf("A degrees = out %d in %d, want out 2 in 0", g.OutDegree("A"), g.InDegree("A"))
+	}
+	if g.OutDegree("C") != 0 || g.InDegree("C") != 2 {
+		t.Errorf("C degrees = out %d in %d, want out 0 in 2", g.OutDegree("C"), g.InDegree("C"))
+	}
+	if g.OutDegree("zz") != 0 || g.InDegree("zz") != 0 {
+		t.Error("degrees of unknown vertex not 0")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"A", "C"}, Edge{"B", "D"}, Edge{"C", "D"})
+	if got, want := g.Sources(), []string{"A"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Sources = %v, want %v", got, want)
+	}
+	if got, want := g.Sinks(), []string{"D"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Sinks = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"})
+	c := g.Clone()
+	c.AddEdge("B", "C")
+	if g.HasEdge("B", "C") {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge("A", "B") {
+		t.Fatal("clone missing original edge")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"A", "C"}, Edge{"C", "D"})
+	sub := g.InducedSubgraph([]string{"A", "B", "C", "nonexistent"})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("induced subgraph has %d vertices, want 3", sub.NumVertices())
+	}
+	wantEdges := []Edge{{"A", "B"}, {"A", "C"}, {"B", "C"}}
+	if !reflect.DeepEqual(sub.Edges(), wantEdges) {
+		t.Fatalf("induced edges = %v, want %v", sub.Edges(), wantEdges)
+	}
+	if sub.HasVertex("D") {
+		t.Fatal("induced subgraph contains excluded vertex D")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	r := g.Reverse()
+	if !r.HasEdge("B", "A") || !r.HasEdge("C", "B") {
+		t.Fatal("Reverse missing flipped edges")
+	}
+	if r.HasEdge("A", "B") {
+		t.Fatal("Reverse kept original edge direction")
+	}
+	if r.NumVertices() != 3 || r.NumEdges() != 2 {
+		t.Fatalf("Reverse has %d vertices %d edges, want 3, 2", r.NumVertices(), r.NumEdges())
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	g := NewFromEdges(Edge{"B", "C"}, Edge{"A", "B"})
+	want := "V={A,B,C} E={A->B,B->C}"
+	if got := g.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSelfLoopAllowed(t *testing.T) {
+	g := New()
+	if !g.AddEdge("A", "A") {
+		t.Fatal("self-loop rejected")
+	}
+	if !g.HasEdge("A", "A") {
+		t.Fatal("self-loop not stored")
+	}
+	if g.NumEdges() != 1 || g.NumVertices() != 1 {
+		t.Fatalf("got %d edges %d vertices, want 1, 1", g.NumEdges(), g.NumVertices())
+	}
+}
+
+func TestIndexOfUnknown(t *testing.T) {
+	g := New()
+	if _, err := g.indexOf("nope"); err == nil {
+		t.Fatal("indexOf(unknown) returned nil error")
+	}
+}

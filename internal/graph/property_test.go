@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDigraph builds an arbitrary (possibly cyclic) digraph.
+func randomDigraph(rng *rand.Rand, n int, p float64) *Digraph {
+	g := New()
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = "v" + itoa(i)
+		g.AddVertex(labels[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.AddEdge(labels[i], labels[j])
+			}
+		}
+	}
+	return g
+}
+
+// bruteReachable computes reachability by Floyd-Warshall, the oracle for
+// the DFS-based Reachable.
+func bruteReachable(g *Digraph) map[[2]string]bool {
+	vs := g.Vertices()
+	reach := map[[2]string]bool{}
+	for _, e := range g.Edges() {
+		reach[[2]string{e.From, e.To}] = true
+	}
+	for _, k := range vs {
+		for _, i := range vs {
+			for _, j := range vs {
+				if reach[[2]string{i, k}] && reach[[2]string{k, j}] {
+					reach[[2]string{i, j}] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func TestPropertyClosureMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		n := 2 + rng.Intn(8)
+		g := randomDigraph(rng, n, 0.3)
+		oracle := bruteReachable(g)
+		closure := g.TransitiveClosure()
+		for _, a := range g.Vertices() {
+			for _, b := range g.Vertices() {
+				if a == b {
+					continue
+				}
+				if closure.HasEdge(a, b) != oracle[[2]string{a, b}] {
+					t.Logf("mismatch %s->%s on %v", a, b, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCsMatchMutualReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(seed int64) bool {
+		n := 2 + rng.Intn(8)
+		g := randomDigraph(rng, n, 0.3)
+		oracle := bruteReachable(g)
+		sameSCC := map[[2]string]bool{}
+		for _, c := range g.SCCs() {
+			for _, a := range c {
+				for _, b := range c {
+					sameSCC[[2]string{a, b}] = true
+				}
+			}
+		}
+		for _, a := range g.Vertices() {
+			for _, b := range g.Vertices() {
+				mutual := a == b || (oracle[[2]string{a, b}] && oracle[[2]string{b, a}])
+				if sameSCC[[2]string{a, b}] != mutual {
+					t.Logf("SCC mismatch %s,%s on %v", a, b, g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySCCsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDigraph(rng, 2+rng.Intn(10), 0.3)
+		seen := map[string]int{}
+		for _, c := range g.SCCs() {
+			for _, v := range c {
+				seen[v]++
+			}
+		}
+		if len(seen) != g.NumVertices() {
+			t.Fatalf("SCCs cover %d of %d vertices", len(seen), g.NumVertices())
+		}
+		for v, count := range seen {
+			if count != 1 {
+				t.Fatalf("vertex %s in %d components", v, count)
+			}
+		}
+	}
+}
+
+func TestPropertyReduceThenCloseIsClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(10), 0.4)
+		red, err := g.TransitiveReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualGraphs(red.TransitiveClosure(), g.TransitiveClosure()) {
+			t.Fatalf("closure(reduce(g)) != closure(g) for %v", g)
+		}
+	}
+}

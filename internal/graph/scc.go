@@ -1,0 +1,124 @@
+package graph
+
+import "sort"
+
+// SCCs returns the strongly connected components of the graph using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the goroutine stack).
+// Each component is a sorted slice of vertex labels; components are returned
+// sorted by their smallest label so the output is deterministic.
+//
+// Algorithm 2 of the paper (step 4) removes all edges between vertices of the
+// same strongly connected component of the followings graph: such vertices
+// follow each other both ways and are therefore independent.
+func (g *Digraph) SCCs() [][]string {
+	n := g.NumVertices()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		next    int   // next DFS index
+		results [][]string
+	)
+
+	// Explicit DFS stack: each frame tracks the vertex and an iterator over
+	// its successors (materialized once, order irrelevant for correctness).
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	succsOf := func(v int) []int {
+		out := make([]int, 0, len(g.succ[v]))
+		for w := range g.succ[v] {
+			out = append(out, w)
+		}
+		return out
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		var dfs []frame
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		dfs = append(dfs, frame{v: root, succs: succsOf(root)})
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop the frame, propagate lowlink, emit component.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := &dfs[len(dfs)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, g.label[w])
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				results = append(results, comp)
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i][0] < results[j][0] })
+	return results
+}
+
+// RemoveIntraSCCEdges deletes every edge whose endpoints lie in the same
+// strongly connected component with more than one vertex, and every
+// self-loop. It returns the number of edges removed. This is step 4 of
+// Algorithm 2 / step 5 of Algorithm 3.
+func (g *Digraph) RemoveIntraSCCEdges() int {
+	comp := make(map[string]int)
+	size := make(map[int]int)
+	for ci, c := range g.SCCs() {
+		size[ci] = len(c)
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	removed := 0
+	for _, e := range g.Edges() {
+		sameBigSCC := comp[e.From] == comp[e.To] && size[comp[e.From]] >= 2
+		if e.From == e.To || sameBigSCC {
+			if g.RemoveEdge(e.From, e.To) {
+				removed++
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSCCsAcyclic(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	got := g.SCCs()
+	want := [][]string{{"A"}, {"B"}, {"C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsSingleCycle(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "A"})
+	got := g.SCCs()
+	want := [][]string{{"A", "B", "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsPaperExample7(t *testing.T) {
+	// Example 7: followings graph for log {ABCF, ACDF, ADEF, AECF} after
+	// 2-cycle removal contains the SCC {C, D, E}.
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"A", "C"}, Edge{"A", "D"}, Edge{"A", "E"},
+		Edge{"B", "C"}, Edge{"B", "F"},
+		Edge{"C", "D"}, Edge{"D", "E"}, Edge{"E", "C"},
+		Edge{"C", "F"}, Edge{"D", "F"}, Edge{"E", "F"},
+	)
+	got := g.SCCs()
+	want := [][]string{{"A"}, {"B"}, {"C", "D", "E"}, {"F"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsTwoComponents(t *testing.T) {
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"B", "A"},
+		Edge{"C", "D"}, Edge{"D", "C"},
+		Edge{"B", "C"},
+	)
+	got := g.SCCs()
+	want := [][]string{{"A", "B"}, {"C", "D"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsNestedCycles(t *testing.T) {
+	// Two cycles sharing a vertex collapse to one component.
+	g := NewFromEdges(
+		Edge{"A", "B"}, Edge{"B", "A"},
+		Edge{"B", "C"}, Edge{"C", "B"},
+	)
+	got := g.SCCs()
+	want := [][]string{{"A", "B", "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCsDeepChainNoOverflow(t *testing.T) {
+	// A 100k-vertex chain exercises the iterative DFS.
+	g := New()
+	prev := "v0"
+	g.AddVertex(prev)
+	for i := 1; i < 100000; i++ {
+		cur := "v" + itoa(i)
+		g.AddEdge(prev, cur)
+		prev = cur
+	}
+	comps := g.SCCs()
+	if len(comps) != 100000 {
+		t.Fatalf("got %d components, want 100000", len(comps))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestRemoveIntraSCCEdges(t *testing.T) {
+	g := NewFromEdges(
+		Edge{"A", "B"},
+		Edge{"B", "C"}, Edge{"C", "D"}, Edge{"D", "B"}, // cycle B,C,D
+		Edge{"D", "E"},
+		Edge{"C", "E"},
+	)
+	removed := g.RemoveIntraSCCEdges()
+	if removed != 3 {
+		t.Fatalf("removed %d edges, want 3", removed)
+	}
+	for _, e := range []Edge{{"B", "C"}, {"C", "D"}, {"D", "B"}} {
+		if g.HasEdge(e.From, e.To) {
+			t.Errorf("intra-SCC edge %v survived", e)
+		}
+	}
+	for _, e := range []Edge{{"A", "B"}, {"D", "E"}, {"C", "E"}} {
+		if !g.HasEdge(e.From, e.To) {
+			t.Errorf("inter-SCC edge %v was removed", e)
+		}
+	}
+}
+
+func TestRemoveIntraSCCEdgesSelfLoop(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "A"}, Edge{"A", "B"})
+	removed := g.RemoveIntraSCCEdges()
+	if removed != 1 {
+		t.Fatalf("removed %d, want 1 (the self-loop)", removed)
+	}
+	if g.HasEdge("A", "A") {
+		t.Error("self-loop survived")
+	}
+	if !g.HasEdge("A", "B") {
+		t.Error("normal edge removed")
+	}
+}
+
+func TestRemoveIntraSCCEdgesNoCycles(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	if removed := g.RemoveIntraSCCEdges(); removed != 0 {
+		t.Fatalf("removed %d edges from a DAG, want 0", removed)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}

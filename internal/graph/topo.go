@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrCyclic is returned by TopoSort when the graph contains a directed cycle.
+var ErrCyclic = errors.New("graph: not a DAG (contains a directed cycle)")
+
+// TopoSort returns the vertex labels in a topological order using Kahn's
+// algorithm. Ties are broken by label so that the order is deterministic.
+// It returns ErrCyclic if the graph has a directed cycle.
+func (g *Digraph) TopoSort() ([]string, error) {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	for u := range g.label {
+		indeg[u] = len(g.pred[u])
+	}
+	// Min-heap behaviour via sorted frontier keeps output deterministic.
+	var frontier []int
+	for u := range g.label {
+		if indeg[u] == 0 {
+			frontier = append(frontier, u)
+		}
+	}
+	sortByLabel := func(xs []int) {
+		sort.Slice(xs, func(i, j int) bool { return g.label[xs[i]] < g.label[xs[j]] })
+	}
+	sortByLabel(frontier)
+
+	order := make([]string, 0, n)
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, g.label[u])
+		var released []int
+		for v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				released = append(released, v)
+			}
+		}
+		sortByLabel(released)
+		frontier = mergeSortedByLabel(g, frontier, released)
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// mergeSortedByLabel merges two label-sorted index slices.
+func mergeSortedByLabel(g *Digraph, a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if g.label[a[i]] <= g.label[b[j]] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// Reachable reports whether there is a directed path (of length >= 0) from
+// from to to. A vertex is always reachable from itself if both exist.
+func (g *Digraph) Reachable(from, to string) bool {
+	u, ok := g.index[from]
+	if !ok {
+		return false
+	}
+	v, ok := g.index[to]
+	if !ok {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	seen := NewBitset(g.NumVertices())
+	stack := []int{u}
+	seen.Set(u)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := range g.succ[x] {
+			if y == v {
+				return true
+			}
+			if !seen.Has(y) {
+				seen.Set(y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableSet returns the labels of all vertices reachable from v by a path
+// of length >= 1 (v itself is included only if it lies on a cycle). The
+// result is sorted. It returns nil if v does not exist.
+func (g *Digraph) ReachableSet(v string) []string {
+	u, ok := g.index[v]
+	if !ok {
+		return nil
+	}
+	seen := NewBitset(g.NumVertices())
+	var stack []int
+	for w := range g.succ[u] {
+		if !seen.Has(w) {
+			seen.Set(w)
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := range g.succ[x] {
+			if !seen.Has(y) {
+				seen.Set(y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	out := make([]string, 0, seen.Count())
+	for _, i := range seen.Elements() {
+		out = append(out, g.label[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConnectedFrom reports whether every vertex of the graph is reachable from
+// start (treating start as reachable from itself). Used by the consistency
+// check of Definition 6 ("all nodes in V' can be reached from the initiating
+// activity").
+func (g *Digraph) ConnectedFrom(start string) bool {
+	u, ok := g.index[start]
+	if !ok {
+		return g.NumVertices() == 0
+	}
+	seen := NewBitset(g.NumVertices())
+	seen.Set(u)
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := range g.succ[x] {
+			if !seen.Has(y) {
+				seen.Set(y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	return seen.Count() == g.NumVertices()
+}
+
+// WeaklyConnected reports whether the graph is connected when edge directions
+// are ignored. The empty graph is considered connected.
+func (g *Digraph) WeaklyConnected() bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	seen := NewBitset(n)
+	seen.Set(0)
+	stack := []int{0}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for y := range g.succ[x] {
+			if !seen.Has(y) {
+				seen.Set(y)
+				stack = append(stack, y)
+			}
+		}
+		for y := range g.pred[x] {
+			if !seen.Has(y) {
+				seen.Set(y)
+				stack = append(stack, y)
+			}
+		}
+	}
+	return seen.Count() == n
+}

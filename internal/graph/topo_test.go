@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestTopoSortChain(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "D"})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	want := []string{"A", "B", "C", "D"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	// Diamond: A -> {B, C} -> D. B and C are incomparable; deterministic
+	// tie-breaking must order them alphabetically.
+	g := NewFromEdges(Edge{"A", "C"}, Edge{"A", "B"}, Edge{"B", "D"}, Edge{"C", "D"})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	want := []string{"A", "B", "C", "D"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortRespectsEdges(t *testing.T) {
+	g := NewFromEdges(
+		Edge{"S", "A"}, Edge{"S", "B"}, Edge{"A", "E"},
+		Edge{"B", "E"}, Edge{"A", "B"},
+	)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violated: pos[%s]=%d >= pos[%s]=%d", e, e.From, pos[e.From], e.To, pos[e.To])
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "A"})
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("TopoSort on cycle: err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestTopoSortEmpty(t *testing.T) {
+	order, err := New().TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort on empty graph: %v", err)
+	}
+	if len(order) != 0 {
+		t.Fatalf("order = %v, want empty", order)
+	}
+}
+
+func TestIsDAG(t *testing.T) {
+	dag := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	if !dag.IsDAG() {
+		t.Error("IsDAG(dag) = false")
+	}
+	cyc := NewFromEdges(Edge{"A", "B"}, Edge{"B", "A"})
+	if cyc.IsDAG() {
+		t.Error("IsDAG(2-cycle) = true")
+	}
+	self := NewFromEdges(Edge{"A", "A"})
+	if self.IsDAG() {
+		t.Error("IsDAG(self-loop) = true")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"D", "C"})
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"A", "C", true},
+		{"A", "B", true},
+		{"C", "A", false},
+		{"A", "D", false},
+		{"A", "A", true}, // reflexive by definition of Reachable
+		{"X", "A", false},
+		{"A", "X", false},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.from, c.to); got != c.want {
+			t.Errorf("Reachable(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestReachableOnCycle(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"C", "B"})
+	if !g.Reachable("B", "B") {
+		t.Error("Reachable(B,B) on cycle = false")
+	}
+	if !g.Reachable("A", "C") {
+		t.Error("Reachable(A,C) = false")
+	}
+}
+
+func TestReachableSet(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"A", "D"})
+	got := g.ReachableSet("A")
+	want := []string{"B", "C", "D"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReachableSet(A) = %v, want %v", got, want)
+	}
+	if got := g.ReachableSet("C"); len(got) != 0 {
+		t.Fatalf("ReachableSet(C) = %v, want empty", got)
+	}
+	if got := g.ReachableSet("missing"); got != nil {
+		t.Fatalf("ReachableSet(missing) = %v, want nil", got)
+	}
+}
+
+func TestReachableSetCycleIncludesSelf(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "A"})
+	got := g.ReachableSet("A")
+	want := []string{"A", "B"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReachableSet(A) = %v, want %v (self via cycle)", got, want)
+	}
+}
+
+func TestConnectedFrom(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"})
+	if !g.ConnectedFrom("A") {
+		t.Error("ConnectedFrom(A) = false for chain")
+	}
+	if g.ConnectedFrom("B") {
+		t.Error("ConnectedFrom(B) = true though A unreachable")
+	}
+	g.AddVertex("Z")
+	if g.ConnectedFrom("A") {
+		t.Error("ConnectedFrom(A) = true with isolated vertex Z")
+	}
+	if !New().ConnectedFrom("anything") {
+		t.Error("ConnectedFrom on empty graph = false")
+	}
+}
+
+func TestWeaklyConnected(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"C", "B"})
+	if !g.WeaklyConnected() {
+		t.Error("WeaklyConnected = false for weakly connected graph")
+	}
+	g.AddVertex("Z")
+	if g.WeaklyConnected() {
+		t.Error("WeaklyConnected = true with isolated vertex")
+	}
+	if !New().WeaklyConnected() {
+		t.Error("WeaklyConnected(empty) = false")
+	}
+}

@@ -1,0 +1,148 @@
+package heuristics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/noise"
+	"procmine/internal/wlog"
+)
+
+func TestDependencyMeasure(t *testing.T) {
+	cases := []struct {
+		ab, ba int
+		want   float64
+	}{
+		{10, 0, 10.0 / 11},
+		{0, 10, -10.0 / 11},
+		{5, 5, 0},
+		{0, 0, 0},
+		{1, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := Dependency(c.ab, c.ba); got != c.want {
+			t.Errorf("Dependency(%d, %d) = %v, want %v", c.ab, c.ba, got, c.want)
+		}
+	}
+}
+
+func TestMineMatchesAGLOnCleanLogs(t *testing.T) {
+	logs := [][]string{
+		{"ABCF", "ACDF", "ADEF", "AECF"},
+		{"ADCE", "ABCDE"},
+		{"ABD", "ABCD"},
+	}
+	for _, seqs := range logs {
+		l := wlog.LogFromStrings(seqs...)
+		agl, err := core.MineGeneralDAG(l, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heu, err := Mine(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.EqualGraphs(agl, heu) {
+			t.Errorf("log %v: AGL %v vs heuristics %v", seqs, agl, heu)
+		}
+	}
+}
+
+func TestMineThresholdFiltersNoise(t *testing.T) {
+	// 95 clean chains + 5 corrupted: the dependency measure for B->C is
+	// (95-5)/(95+5+1) = 0.89, so threshold 0.8 keeps the chain, while AGL's
+	// plain 2-cycle cancellation destroys it.
+	var seqs []string
+	for i := 0; i < 95; i++ {
+		seqs = append(seqs, "ABCD")
+	}
+	for i := 0; i < 5; i++ {
+		seqs = append(seqs, "ACBD")
+	}
+	l := wlog.LogFromStrings(seqs...)
+
+	plainAGL, err := core.MineGeneralDAG(l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainAGL.HasEdge("B", "C") {
+		t.Fatal("plain AGL should cancel B<->C")
+	}
+	heu, err := Mine(l, Options{DependencyThreshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A->B", "B->C", "C->D"}
+	var got []string
+	for _, e := range heu.Edges() {
+		got = append(got, e.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("heuristic edges = %v, want %v", got, want)
+	}
+}
+
+func TestMineOverlapWeakensDependency(t *testing.T) {
+	// A before B in 3 executions but overlapping in 4: dep = (3-4)/8 < 0,
+	// so no edge even at threshold 0.
+	var execs []wlog.Execution
+	for i := 0; i < 3; i++ {
+		execs = append(execs, wlog.FromString(string(rune('a'+i)), "AB"))
+	}
+	base := wlog.FromString("tmp", "A")
+	s := base.Steps[0]
+	for i := 0; i < 4; i++ {
+		execs = append(execs, wlog.Execution{ID: string(rune('x' + i)), Steps: []wlog.Step{
+			s,
+			{Activity: "B", Start: s.Start.Add(s.End.Sub(s.Start) / 2), End: s.End.Add(s.End.Sub(s.Start))},
+		}})
+	}
+	l := &wlog.Log{Executions: execs}
+	g, err := Mine(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge("A", "B") || g.HasEdge("B", "A") {
+		t.Fatalf("overlap-dominated pair should have no edge: %v", g.Edges())
+	}
+}
+
+// TestHeuristicVsAGLThresholdEquivalence: on a uniformly corrupted chain the
+// heuristic cutoff and the Section 6 support threshold both recover the
+// chain — the two noise rules agree on the regime the paper analyzes.
+func TestHeuristicVsAGLThresholdEquivalence(t *testing.T) {
+	const m = 200
+	eps := 0.05
+	var clean []string
+	for i := 0; i < m; i++ {
+		clean = append(clean, "ABCDE")
+	}
+	l := wlog.LogFromStrings(clean...)
+	noisy := noise.NewCorruptor(rand.New(rand.NewSource(5))).SwapAdjacent(l, eps)
+
+	T, err := noise.ThresholdFor(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agl, err := core.MineGeneralDAG(noisy, core.Options{MinSupport: T})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := Mine(noisy, Options{DependencyThreshold: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraphs(agl, heu) {
+		t.Fatalf("noise rules disagree on the chain:\nAGL: %v\nheu: %v", agl, heu)
+	}
+	chain := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"}, graph.Edge{From: "B", To: "C"},
+		graph.Edge{From: "C", To: "D"}, graph.Edge{From: "D", To: "E"},
+	)
+	if !graph.EqualGraphs(chain, heu) {
+		t.Fatalf("chain not recovered: %v", heu)
+	}
+}

@@ -1,0 +1,236 @@
+// Package ktail implements the finite-state-machine process-discovery
+// baseline the paper positions itself against (Cook & Wolf, "Automating
+// process discovery through event-data analysis", ICSE 1995). Cook & Wolf's
+// RNet/Ktail family infers an automaton from event traces; we implement the
+// classical Biermann-Feldman k-tail method they build on:
+//
+//  1. Build the prefix-tree acceptor of the traces.
+//  2. Merge states whose k-tails (the sets of suffixes of length <= k that
+//     can follow the state) are equal, until a fixpoint.
+//
+// The resulting automaton accepts every trace in the log (and, after
+// merging, generalizes to unseen interleavings only insofar as their
+// k-futures coincide).
+//
+// The paper's Section 1 argument is structural: in a process graph an
+// activity is ONE vertex regardless of parallelism, while an automaton
+// needs a state per reachable "marking", so k parallel activities cost
+// 2^k states. The comparison experiment quantifies exactly that.
+package ktail
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"procmine/internal/wlog"
+)
+
+// FSM is a deterministic finite automaton over activity names.
+type FSM struct {
+	// Start is the initial state index; states are 0..NumStates-1.
+	Start int
+	// Delta maps state -> activity -> next state.
+	Delta []map[string]int
+	// Accepting marks final states.
+	Accepting []bool
+}
+
+// NumStates returns the number of states.
+func (m *FSM) NumStates() int { return len(m.Delta) }
+
+// NumTransitions returns the number of transitions.
+func (m *FSM) NumTransitions() int {
+	n := 0
+	for _, d := range m.Delta {
+		n += len(d)
+	}
+	return n
+}
+
+// Accepts reports whether the automaton accepts the activity sequence.
+func (m *FSM) Accepts(seq []string) bool {
+	s := m.Start
+	for _, a := range seq {
+		next, ok := m.Delta[s][a]
+		if !ok {
+			return false
+		}
+		s = next
+	}
+	return m.Accepting[s]
+}
+
+// Infer builds the k-tail automaton from the log's activity sequences.
+// k <= 0 defaults to 2 (a common Cook & Wolf setting).
+func Infer(l *wlog.Log, k int) *FSM {
+	if k <= 0 {
+		k = 2
+	}
+	pta := buildPrefixTree(l)
+	return mergeByKTails(pta, k)
+}
+
+// buildPrefixTree constructs the prefix-tree acceptor.
+func buildPrefixTree(l *wlog.Log) *FSM {
+	m := &FSM{Start: 0, Delta: []map[string]int{{}}, Accepting: []bool{false}}
+	for _, exec := range l.Executions {
+		s := 0
+		for _, a := range exec.Activities() {
+			next, ok := m.Delta[s][a]
+			if !ok {
+				next = len(m.Delta)
+				m.Delta = append(m.Delta, map[string]int{})
+				m.Accepting = append(m.Accepting, false)
+				m.Delta[s][a] = next
+			}
+			s = next
+		}
+		m.Accepting[s] = true
+	}
+	return m
+}
+
+// kTailSignature renders the set of length<=k suffixes (with acceptance
+// markers) reachable from state s, canonically.
+func kTailSignature(m *FSM, s, k int) string {
+	var tails []string
+	var walk func(state int, prefix []string, depth int)
+	walk = func(state int, prefix []string, depth int) {
+		if m.Accepting[state] {
+			tails = append(tails, strings.Join(prefix, "\x00")+"\x01")
+		} else {
+			tails = append(tails, strings.Join(prefix, "\x00"))
+		}
+		if depth == k {
+			return
+		}
+		for a, next := range m.Delta[state] {
+			walk(next, append(prefix, a), depth+1)
+		}
+	}
+	walk(s, nil, 0)
+	sort.Strings(tails)
+	return strings.Join(tails, "\x02")
+}
+
+// mergeByKTails merges states with equal k-tail signatures until stable.
+// Merging can make the automaton nondeterministic in theory; conflicts are
+// resolved by merging the conflicting targets too (standard k-tail
+// closure), which preserves acceptance of the input traces.
+func mergeByKTails(m *FSM, k int) *FSM {
+	for {
+		groups := map[string][]int{}
+		for s := 0; s < m.NumStates(); s++ {
+			sig := kTailSignature(m, s, k)
+			groups[sig] = append(groups[sig], s)
+		}
+		// Union-find over states to merge.
+		parent := make([]int, m.NumStates())
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(a, b int) {
+			ra, rb := find(a), find(b)
+			if ra != rb {
+				if rb < ra {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+		merged := false
+		for _, g := range groups {
+			for i := 1; i < len(g); i++ {
+				if find(g[0]) != find(g[i]) {
+					union(g[0], g[i])
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			return m
+		}
+		// Determinization closure: if a merged state has two transitions on
+		// the same activity, merge the targets.
+		for changed := true; changed; {
+			changed = false
+			targets := map[[2]interface{}]int{}
+			for s := 0; s < m.NumStates(); s++ {
+				rs := find(s)
+				for a, next := range m.Delta[s] {
+					key := [2]interface{}{rs, a}
+					if prev, ok := targets[key]; ok {
+						if find(prev) != find(next) {
+							union(prev, next)
+							changed = true
+						}
+					} else {
+						targets[key] = next
+					}
+				}
+			}
+		}
+		m = rebuild(m, find)
+	}
+}
+
+// rebuild collapses the automaton onto union-find representatives.
+func rebuild(m *FSM, find func(int) int) *FSM {
+	index := map[int]int{}
+	var order []int
+	for s := 0; s < m.NumStates(); s++ {
+		r := find(s)
+		if _, ok := index[r]; !ok {
+			index[r] = len(order)
+			order = append(order, r)
+		}
+	}
+	nm := &FSM{
+		Start:     index[find(m.Start)],
+		Delta:     make([]map[string]int, len(order)),
+		Accepting: make([]bool, len(order)),
+	}
+	for i := range nm.Delta {
+		nm.Delta[i] = map[string]int{}
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		ns := index[find(s)]
+		if m.Accepting[s] {
+			nm.Accepting[ns] = true
+		}
+		for a, next := range m.Delta[s] {
+			nm.Delta[ns][a] = index[find(next)]
+		}
+	}
+	return nm
+}
+
+// String renders the automaton compactly for debugging.
+func (m *FSM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FSM start=%d states=%d transitions=%d\n", m.Start, m.NumStates(), m.NumTransitions())
+	for s := 0; s < m.NumStates(); s++ {
+		mark := " "
+		if m.Accepting[s] {
+			mark = "*"
+		}
+		var acts []string
+		for a := range m.Delta[s] {
+			acts = append(acts, a)
+		}
+		sort.Strings(acts)
+		for _, a := range acts {
+			fmt.Fprintf(&b, "%s %d -%s-> %d\n", mark, s, a, m.Delta[s][a])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package ktail
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"procmine/internal/wlog"
+)
+
+func seq(s string) []string {
+	out := make([]string, 0, len(s))
+	for _, r := range s {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func TestPrefixTreeAcceptsTraces(t *testing.T) {
+	l := wlog.LogFromStrings("ABCE", "ACDE")
+	pta := buildPrefixTree(l)
+	if !pta.Accepts(seq("ABCE")) || !pta.Accepts(seq("ACDE")) {
+		t.Fatal("prefix tree rejects its own traces")
+	}
+	if pta.Accepts(seq("ABDE")) {
+		t.Fatal("prefix tree accepts an unseen trace")
+	}
+	if pta.Accepts(seq("ABC")) {
+		t.Fatal("prefix tree accepts a proper prefix")
+	}
+	// PTA state count: 1 root + distinct prefixes (ABCE gives 4, ACDE adds
+	// C/D/E under A->C = 3, sharing A).
+	if pta.NumStates() != 8 {
+		t.Fatalf("PTA states = %d, want 8", pta.NumStates())
+	}
+}
+
+func TestInferAcceptsAllTraces(t *testing.T) {
+	logs := [][]string{
+		{"ABCE", "ACDE", "ADBE"},
+		{"SABE", "SBAE"},
+		{"ABCF", "ACDF", "ADEF", "AECF"},
+		{"ABCDE"},
+	}
+	for _, traces := range logs {
+		l := wlog.LogFromStrings(traces...)
+		for _, k := range []int{1, 2, 3} {
+			m := Infer(l, k)
+			for _, tr := range traces {
+				if !m.Accepts(seq(tr)) {
+					t.Errorf("k=%d: inferred FSM rejects training trace %s\n%s", k, tr, m)
+				}
+			}
+		}
+	}
+}
+
+func TestInferMergesStates(t *testing.T) {
+	// Many traces sharing suffix structure: merging must shrink the PTA.
+	l := wlog.LogFromStrings("ABXE", "ACXE", "ADXE")
+	pta := buildPrefixTree(l)
+	m := Infer(l, 1)
+	if m.NumStates() >= pta.NumStates() {
+		t.Fatalf("k-tail did not merge: %d -> %d states", pta.NumStates(), m.NumStates())
+	}
+	for _, tr := range []string{"ABXE", "ACXE", "ADXE"} {
+		if !m.Accepts(seq(tr)) {
+			t.Fatalf("merged FSM rejects %s", tr)
+		}
+	}
+}
+
+func TestInferDefaultK(t *testing.T) {
+	l := wlog.LogFromStrings("AB")
+	if m := Infer(l, 0); !m.Accepts(seq("AB")) {
+		t.Fatal("default k failed")
+	}
+}
+
+func TestAcceptsEmptySequence(t *testing.T) {
+	l := wlog.LogFromStrings("A")
+	m := Infer(l, 2)
+	if m.Accepts(nil) {
+		t.Fatal("empty sequence accepted though no empty trace was in the log")
+	}
+}
+
+// TestParallelismBlowup quantifies the paper's Section 1 argument: k
+// parallel activities need one vertex each in a process graph, but the
+// automaton for all interleavings needs ~2^k states.
+func TestParallelismBlowup(t *testing.T) {
+	// All interleavings of p parallel activities between S and E.
+	for _, p := range []int{2, 3, 4} {
+		var traces []string
+		acts := "BCDF"[:p]
+		permute(seq(acts), func(perm []string) {
+			traces = append(traces, "A"+strings.Join(perm, "")+"E")
+		})
+		l := wlog.LogFromStrings(traces...)
+		m := Infer(l, 2)
+		for _, tr := range traces {
+			if !m.Accepts(seq(tr)) {
+				t.Fatalf("p=%d: FSM rejects %s", p, tr)
+			}
+		}
+		// The process graph needs p+2 vertices; the FSM needs at least the
+		// number of subsets of started activities (2^p) plus endpoints.
+		minStates := 1 << p
+		if m.NumStates() < minStates {
+			t.Fatalf("p=%d: FSM has %d states, expected >= %d (marking blow-up)", p, m.NumStates(), minStates)
+		}
+		t.Logf("p=%d: graph vertices=%d, FSM states=%d transitions=%d",
+			p, p+2, m.NumStates(), m.NumTransitions())
+	}
+}
+
+// permute calls fn with each permutation of xs.
+func permute(xs []string, fn func([]string)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(xs) {
+			cp := append([]string(nil), xs...)
+			fn(cp)
+			return
+		}
+		for i := k; i < len(xs); i++ {
+			xs[k], xs[i] = xs[i], xs[k]
+			rec(k + 1)
+			xs[k], xs[i] = xs[i], xs[k]
+		}
+	}
+	rec(0)
+}
+
+func TestStringRendering(t *testing.T) {
+	l := wlog.LogFromStrings("AB")
+	m := Infer(l, 2)
+	s := m.String()
+	if !strings.Contains(s, "FSM start=") || !strings.Contains(s, "-A->") {
+		t.Errorf("String() = %q", s)
+	}
+	_ = fmt.Sprintf("%v", m)
+}

@@ -1,0 +1,164 @@
+// Package model defines the business-process model of Definition 1 in
+// Agrawal, Gunopulos & Leymann (EDBT 1998): a set of activities, a directed
+// activity graph, per-activity output functions o: V -> N^k, and per-edge
+// Boolean control conditions f(u,v): N^k -> {0,1}.
+//
+// The condition algebra here is shared by the Flowmark-style execution engine
+// (which evaluates conditions to decide control flow) and by the conditions
+// miner (which learns conditions back from logged outputs, Section 7).
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"procmine/internal/wlog"
+)
+
+// Condition is a Boolean function on an activity's output vector, attached to
+// an outgoing edge of that activity.
+type Condition interface {
+	// Eval evaluates the condition on the output vector o(u) of the edge's
+	// source activity.
+	Eval(out wlog.Output) bool
+	// String renders the condition in the paper's notation, e.g.
+	// "(o[0] > 0) && (o[1] < 5)".
+	String() string
+}
+
+// True is the always-true condition (an unconditional edge).
+type True struct{}
+
+// Eval implements Condition; it always returns true.
+func (True) Eval(wlog.Output) bool { return true }
+
+// String implements Condition.
+func (True) String() string { return "true" }
+
+// CmpOp is a comparison operator for threshold conditions.
+type CmpOp int
+
+// Comparison operators usable in a Threshold condition.
+const (
+	LT CmpOp = iota // strictly less than
+	LE              // less than or equal
+	GT              // strictly greater than
+	GE              // greater than or equal
+	EQ              // equal
+	NE              // not equal
+)
+
+// String returns the operator's source form.
+func (op CmpOp) String() string {
+	switch op {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Threshold compares one component of the output vector against a constant:
+// o[Index] Op Value. Indices beyond the vector length read as 0, matching
+// the convention that a missing output parameter is the null value.
+type Threshold struct {
+	Index int
+	Op    CmpOp
+	Value int
+}
+
+// Eval implements Condition.
+func (c Threshold) Eval(out wlog.Output) bool {
+	v := 0
+	if c.Index >= 0 && c.Index < len(out) {
+		v = out[c.Index]
+	}
+	switch c.Op {
+	case LT:
+		return v < c.Value
+	case LE:
+		return v <= c.Value
+	case GT:
+		return v > c.Value
+	case GE:
+		return v >= c.Value
+	case EQ:
+		return v == c.Value
+	case NE:
+		return v != c.Value
+	default:
+		return false
+	}
+}
+
+// String implements Condition.
+func (c Threshold) String() string {
+	return fmt.Sprintf("o[%d] %s %d", c.Index, c.Op, c.Value)
+}
+
+// And is the conjunction of its children; the empty conjunction is true.
+type And []Condition
+
+// Eval implements Condition.
+func (c And) Eval(out wlog.Output) bool {
+	for _, sub := range c {
+		if !sub.Eval(out) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Condition.
+func (c And) String() string { return joinConds([]Condition(c), " && ") }
+
+// Or is the disjunction of its children; the empty disjunction is false.
+type Or []Condition
+
+// Eval implements Condition.
+func (c Or) Eval(out wlog.Output) bool {
+	for _, sub := range c {
+		if sub.Eval(out) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Condition.
+func (c Or) String() string {
+	if len(c) == 0 {
+		return "false"
+	}
+	return joinConds([]Condition(c), " || ")
+}
+
+// Not negates its child condition.
+type Not struct{ C Condition }
+
+// Eval implements Condition.
+func (c Not) Eval(out wlog.Output) bool { return !c.C.Eval(out) }
+
+// String implements Condition.
+func (c Not) String() string { return "!(" + c.C.String() + ")" }
+
+func joinConds(cs []Condition, sep string) string {
+	if len(cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

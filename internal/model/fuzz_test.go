@@ -1,0 +1,30 @@
+package model
+
+import "testing"
+
+// FuzzParseCondition checks the parser never panics and that successful
+// parses round-trip through String().
+func FuzzParseCondition(f *testing.F) {
+	f.Add("true")
+	f.Add("o[0] >= 5 && o[1] < 3")
+	f.Add("!(o[0] == 1) || false")
+	f.Add("((o[2] != -4))")
+	f.Add("o[")
+	f.Add("&&")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseCondition(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseCondition(c.String())
+		if err != nil {
+			t.Fatalf("rendered condition %q failed to re-parse: %v", c.String(), err)
+		}
+		// Spot-check semantic equality on a few probe vectors.
+		for _, probe := range [][]int{{0, 0, 0}, {5, 5, 5}, {9, 1, 3}, {2, 8, 7}} {
+			if c.Eval(probe) != again.Eval(probe) {
+				t.Fatalf("round trip changed semantics of %q at %v", input, probe)
+			}
+		}
+	})
+}

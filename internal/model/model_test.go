@@ -1,0 +1,213 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+func TestThresholdEval(t *testing.T) {
+	out := wlog.Output{5, 2}
+	cases := []struct {
+		c    Threshold
+		want bool
+	}{
+		{Threshold{0, GT, 4}, true},
+		{Threshold{0, GT, 5}, false},
+		{Threshold{0, GE, 5}, true},
+		{Threshold{0, LT, 6}, true},
+		{Threshold{0, LE, 5}, true},
+		{Threshold{0, LE, 4}, false},
+		{Threshold{1, EQ, 2}, true},
+		{Threshold{1, NE, 2}, false},
+		{Threshold{1, NE, 3}, true},
+		{Threshold{5, EQ, 0}, true},  // out-of-range index reads 0
+		{Threshold{-1, EQ, 0}, true}, // negative index reads 0
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(out); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.c, out, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{LT: "<", LE: "<=", GT: ">", GE: ">=", EQ: "==", NE: "!="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("CmpOp %d String = %q, want %q", op, op.String(), want)
+		}
+	}
+	if CmpOp(99).String() != "CmpOp(99)" {
+		t.Errorf("unknown op String = %q", CmpOp(99).String())
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	out := wlog.Output{5}
+	tr := Threshold{0, GT, 3} // true
+	fa := Threshold{0, LT, 3} // false
+	if !(And{tr, tr}).Eval(out) || (And{tr, fa}).Eval(out) {
+		t.Error("And misbehaves")
+	}
+	if !(And{}).Eval(out) {
+		t.Error("empty And should be true")
+	}
+	if !(Or{fa, tr}).Eval(out) || (Or{fa, fa}).Eval(out) {
+		t.Error("Or misbehaves")
+	}
+	if (Or{}).Eval(out) {
+		t.Error("empty Or should be false")
+	}
+	if (Not{tr}).Eval(out) || !(Not{fa}).Eval(out) {
+		t.Error("Not misbehaves")
+	}
+	if !(True{}).Eval(nil) {
+		t.Error("True should be true on nil output")
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	cases := []struct {
+		c    Condition
+		want string
+	}{
+		{True{}, "true"},
+		{Threshold{0, GT, 3}, "o[0] > 3"},
+		{And{Threshold{0, GT, 0}, Threshold{1, LT, 5}}, "(o[0] > 0) && (o[1] < 5)"},
+		{And{}, "true"},
+		{Or{}, "false"},
+		{Or{Threshold{0, EQ, 1}}, "(o[0] == 1)"},
+		{Not{True{}}, "!(true)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOutputFuncs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	co := ConstOutput(4, 2)
+	a := co(rng)
+	b := co(rng)
+	if !a.Equal(wlog.Output{4, 2}) || !b.Equal(a) {
+		t.Errorf("ConstOutput = %v, %v, want [4 2]", a, b)
+	}
+	a[0] = 99
+	if co(rng)[0] == 99 {
+		t.Error("ConstOutput shares state between calls")
+	}
+	uo := UniformOutput(3, 10)
+	for i := 0; i < 50; i++ {
+		out := uo(rng)
+		if len(out) != 3 {
+			t.Fatalf("UniformOutput length = %d, want 3", len(out))
+		}
+		for _, v := range out {
+			if v < 0 || v >= 10 {
+				t.Fatalf("UniformOutput value %d out of [0,10)", v)
+			}
+		}
+	}
+}
+
+func TestFigure1Valid(t *testing.T) {
+	p := Figure1()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Figure1 invalid: %v", err)
+	}
+	if p.Start != "A" || p.End != "E" {
+		t.Fatalf("Start/End = %s/%s, want A/E", p.Start, p.End)
+	}
+	if p.Graph.NumEdges() != 6 {
+		t.Fatalf("Figure1 has %d edges, want 6", p.Graph.NumEdges())
+	}
+	// The annotated condition is on C->D; every other edge defaults to True.
+	if _, ok := p.Condition("C", "D").(And); !ok {
+		t.Errorf("C->D condition = %v, want an And", p.Condition("C", "D"))
+	}
+	if _, ok := p.Condition("A", "B").(True); !ok {
+		t.Errorf("A->B condition = %v, want True", p.Condition("A", "B"))
+	}
+}
+
+func TestProcessOutput(t *testing.T) {
+	p := Figure1()
+	rng := rand.New(rand.NewSource(5))
+	out := p.Output("A", rng)
+	if len(out) != 2 {
+		t.Fatalf("Output(A) length = %d, want 2", len(out))
+	}
+	if got := p.Output("unknown", rng); got != nil {
+		t.Fatalf("Output(unknown) = %v, want nil", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func() *Process {
+		return &Process{
+			Name:  "t",
+			Graph: graph.NewFromEdges(graph.Edge{From: "A", To: "B"}, graph.Edge{From: "B", To: "C"}),
+			Start: "A",
+			End:   "C",
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+
+	p := mk()
+	p.Graph = nil
+	if err := p.Validate(); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("nil graph: err = %v, want ErrNoGraph", err)
+	}
+
+	p = mk()
+	p.Start = "B"
+	if err := p.Validate(); !errors.Is(err, ErrBadSource) {
+		t.Errorf("wrong start: err = %v, want ErrBadSource", err)
+	}
+
+	p = mk()
+	p.End = "B"
+	if err := p.Validate(); !errors.Is(err, ErrBadSink) {
+		t.Errorf("wrong end: err = %v, want ErrBadSink", err)
+	}
+
+	p = mk()
+	p.Graph.AddEdge("X", "C") // second source X
+	if err := p.Validate(); !errors.Is(err, ErrBadSource) {
+		t.Errorf("two sources: err = %v, want ErrBadSource", err)
+	}
+
+	p = mk()
+	p.Conditions = map[graph.Edge]Condition{{From: "A", To: "C"}: True{}}
+	if err := p.Validate(); !errors.Is(err, ErrUnknownEdge) {
+		t.Errorf("condition on non-edge: err = %v, want ErrUnknownEdge", err)
+	}
+
+	p = mk()
+	p.Outputs = map[string]OutputFunc{"Z": ConstOutput(1)}
+	if err := p.Validate(); !errors.Is(err, ErrUnknownActivity) {
+		t.Errorf("output for non-activity: err = %v, want ErrUnknownActivity", err)
+	}
+}
+
+func TestValidateCyclicProcessAllowed(t *testing.T) {
+	// Rework loop B->C->B is a legal process graph (Section 5).
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "B", To: "C"},
+		graph.Edge{From: "C", To: "B"},
+		graph.Edge{From: "C", To: "E"},
+	)
+	p := &Process{Name: "loop", Graph: g, Start: "A", End: "E"}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("cyclic process rejected: %v", err)
+	}
+}

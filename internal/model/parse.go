@@ -1,0 +1,186 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseCondition parses the textual condition syntax used by Condition's
+// String methods back into a Condition, so conditions round-trip through
+// configuration files and CLI flags. Grammar:
+//
+//	expr   := term { "||" term }
+//	term   := factor { "&&" factor }
+//	factor := "!" factor | "(" expr ")" | "true" | "false" | cmp
+//	cmp    := "o[" int "]" op int
+//	op     := "<" | "<=" | ">" | ">=" | "==" | "!="
+//
+// "false" parses to the empty Or (never true).
+func ParseCondition(s string) (Condition, error) {
+	p := &condParser{input: s}
+	c, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("model: unexpected trailing input at %d: %q", p.pos, p.input[p.pos:])
+	}
+	return c, nil
+}
+
+// MustParseCondition is ParseCondition that panics on error, for use in
+// tests and static process definitions.
+func MustParseCondition(s string) Condition {
+	c, err := ParseCondition(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type condParser struct {
+	input string
+	pos   int
+}
+
+func (p *condParser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *condParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.input[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *condParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("model: parsing condition at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *condParser) parseExpr() (Condition, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Condition{first}
+	for p.eat("||") {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return Or(terms), nil
+}
+
+func (p *condParser) parseTerm() (Condition, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	factors := []Condition{first}
+	for p.eat("&&") {
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	if len(factors) == 1 {
+		return factors[0], nil
+	}
+	return And(factors), nil
+}
+
+func (p *condParser) parseFactor() (Condition, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("!"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{C: inner}, nil
+	case p.eat("("):
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, p.errf("missing ')'")
+		}
+		return inner, nil
+	case p.eat("true"):
+		return True{}, nil
+	case p.eat("false"):
+		return Or{}, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *condParser) parseComparison() (Condition, error) {
+	if !p.eat("o[") {
+		return nil, p.errf("expected 'o[', '(', '!', 'true' or 'false'")
+	}
+	idx, err := p.parseInt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eat("]") {
+		return nil, p.errf("missing ']'")
+	}
+	var op CmpOp
+	switch {
+	// Two-character operators must be tried before their prefixes.
+	case p.eat("<="):
+		op = LE
+	case p.eat(">="):
+		op = GE
+	case p.eat("=="):
+		op = EQ
+	case p.eat("!="):
+		op = NE
+	case p.eat("<"):
+		op = LT
+	case p.eat(">"):
+		op = GT
+	default:
+		return nil, p.errf("expected comparison operator")
+	}
+	val, err := p.parseInt()
+	if err != nil {
+		return nil, err
+	}
+	return Threshold{Index: idx, Op: op, Value: val}, nil
+}
+
+func (p *condParser) parseInt() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.input) && p.input[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.input[start] == '-') {
+		return 0, p.errf("expected integer")
+	}
+	v, err := strconv.Atoi(p.input[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad integer %q: %v", p.input[start:p.pos], err)
+	}
+	return v, nil
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"procmine/internal/wlog"
+)
+
+func TestParseConditionBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		out  wlog.Output
+		want bool
+	}{
+		{"true", nil, true},
+		{"false", nil, false},
+		{"o[0] > 3", wlog.Output{5}, true},
+		{"o[0] > 3", wlog.Output{2}, false},
+		{"o[0] <= 3", wlog.Output{3}, true},
+		{"o[1] == 7", wlog.Output{0, 7}, true},
+		{"o[1] != 7", wlog.Output{0, 7}, false},
+		{"o[0] >= 5 && o[1] < 2", wlog.Output{5, 1}, true},
+		{"o[0] >= 5 && o[1] < 2", wlog.Output{5, 3}, false},
+		{"o[0] < 1 || o[1] < 1", wlog.Output{9, 0}, true},
+		{"!(o[0] < 5)", wlog.Output{7}, true},
+		{"!o[0] < 5", wlog.Output{7}, true}, // ! binds to the comparison
+		{"(o[0] < 5 || o[0] > 8) && o[1] == 0", wlog.Output{9, 0}, true},
+		{"(o[0] < 5 || o[0] > 8) && o[1] == 0", wlog.Output{6, 0}, false},
+		{"o[2] == 0", wlog.Output{1}, true}, // missing index reads 0
+		{"o[0] > -3", wlog.Output{0}, true}, // negative constants
+	}
+	for _, c := range cases {
+		cond, err := ParseCondition(c.in)
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", c.in, err)
+			continue
+		}
+		if got := cond.Eval(c.out); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.in, c.out, got, c.want)
+		}
+	}
+}
+
+func TestParseConditionPrecedence(t *testing.T) {
+	// && binds tighter than ||: a || b && c == a || (b && c).
+	cond := MustParseCondition("o[0] == 1 || o[0] == 2 && o[1] == 3")
+	if !cond.Eval(wlog.Output{1, 0}) {
+		t.Error("a true should satisfy a || (b && c)")
+	}
+	if cond.Eval(wlog.Output{2, 0}) {
+		t.Error("b alone should not satisfy a || (b && c)")
+	}
+	if !cond.Eval(wlog.Output{2, 3}) {
+		t.Error("b && c should satisfy")
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"o[0]",
+		"o[0] <",
+		"o[] < 3",
+		"o[x] < 3",
+		"o[0 < 3",
+		"(o[0] < 3",
+		"o[0] < 3 extra",
+		"o[0] ~ 3",
+		"&& o[0] < 1",
+		"o[0] < 3 &&",
+		"o[0] < -",
+	}
+	for _, in := range cases {
+		if _, err := ParseCondition(in); err == nil {
+			t.Errorf("ParseCondition(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestMustParseConditionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseCondition did not panic on invalid input")
+		}
+	}()
+	MustParseCondition("o[")
+}
+
+// TestParseRoundTripsString: rendering any condition built from the algebra
+// and re-parsing it yields an equivalent condition.
+func TestParseRoundTripsString(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var gen func(depth int) Condition
+	gen = func(depth int) Condition {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return Threshold{Index: rng.Intn(3), Op: CmpOp(rng.Intn(6)), Value: rng.Intn(10)}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return And{gen(depth - 1), gen(depth - 1)}
+		case 1:
+			return Or{gen(depth - 1), gen(depth - 1)}
+		case 2:
+			return Not{C: gen(depth - 1)}
+		default:
+			return True{}
+		}
+	}
+	f := func(a, b, c uint8) bool {
+		orig := gen(3)
+		parsed, err := ParseCondition(orig.String())
+		if err != nil {
+			t.Logf("failed to reparse %q: %v", orig.String(), err)
+			return false
+		}
+		out := wlog.Output{int(a % 10), int(b % 10), int(c % 10)}
+		return parsed.Eval(out) == orig.Eval(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

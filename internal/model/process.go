@@ -1,0 +1,155 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// OutputFunc produces an activity's output vector o(u) for one execution.
+// Implementations typically draw from a per-activity distribution; they
+// receive the process-local PRNG so runs are reproducible.
+type OutputFunc func(rng *rand.Rand) wlog.Output
+
+// ConstOutput returns an OutputFunc that always yields the given vector.
+func ConstOutput(vals ...int) OutputFunc {
+	return func(*rand.Rand) wlog.Output {
+		out := make(wlog.Output, len(vals))
+		copy(out, vals)
+		return out
+	}
+}
+
+// UniformOutput returns an OutputFunc producing a k-vector of independent
+// uniform integers in [0, max).
+func UniformOutput(k, max int) OutputFunc {
+	return func(rng *rand.Rand) wlog.Output {
+		out := make(wlog.Output, k)
+		for i := range out {
+			out[i] = rng.Intn(max)
+		}
+		return out
+	}
+}
+
+// Process is a business process per Definition 1: activities V, directed
+// graph G, output functions o, and Boolean edge conditions f.
+type Process struct {
+	// Name identifies the process (e.g. "Upload_and_Notify").
+	Name string
+	// Graph is the activity graph G_P. Its vertices are the activities.
+	Graph *graph.Digraph
+	// Start and End are the activating and terminating activities (the
+	// single source and sink of Graph).
+	Start, End string
+	// Outputs maps an activity to its output function. Activities without an
+	// entry produce a nil output vector.
+	Outputs map[string]OutputFunc
+	// Conditions maps an edge to its Boolean function f(u,v). Edges without
+	// an entry are unconditional (True).
+	Conditions map[graph.Edge]Condition
+}
+
+// Validation errors returned (wrapped) by Validate.
+var (
+	// ErrNoGraph flags a process without an activity graph.
+	ErrNoGraph = errors.New("model: process has no graph")
+	// ErrBadSource flags a Start activity that is not the unique source.
+	ErrBadSource = errors.New("model: start activity is not the unique source")
+	// ErrBadSink flags an End activity that is not the unique sink.
+	ErrBadSink = errors.New("model: end activity is not the unique sink")
+	// ErrUnknownEdge flags a condition attached to a non-edge.
+	ErrUnknownEdge = errors.New("model: condition on nonexistent edge")
+	// ErrUnknownActivity flags an output function for a non-vertex.
+	ErrUnknownActivity = errors.New("model: output function for nonexistent activity")
+	// ErrUnreachable flags activities not reachable from Start.
+	ErrUnreachable = errors.New("model: activity unreachable from start")
+)
+
+// Validate checks the structural invariants assumed by the paper: the graph
+// exists, has the declared single source and single sink, every vertex is
+// reachable from Start, and auxiliary maps refer to real edges/activities.
+// Cyclic graphs are permitted (Section 5).
+func (p *Process) Validate() error {
+	if p.Graph == nil || p.Graph.NumVertices() == 0 {
+		return fmt.Errorf("%w: %q", ErrNoGraph, p.Name)
+	}
+	sources := p.Graph.Sources()
+	if len(sources) != 1 || sources[0] != p.Start {
+		return fmt.Errorf("%w: sources=%v declared=%q", ErrBadSource, sources, p.Start)
+	}
+	sinks := p.Graph.Sinks()
+	if len(sinks) != 1 || sinks[0] != p.End {
+		return fmt.Errorf("%w: sinks=%v declared=%q", ErrBadSink, sinks, p.End)
+	}
+	if !p.Graph.ConnectedFrom(p.Start) {
+		return fmt.Errorf("%w (process %q)", ErrUnreachable, p.Name)
+	}
+	for e := range p.Conditions {
+		if !p.Graph.HasEdge(e.From, e.To) {
+			return fmt.Errorf("%w: %v", ErrUnknownEdge, e)
+		}
+	}
+	for a := range p.Outputs {
+		if !p.Graph.HasVertex(a) {
+			return fmt.Errorf("%w: %q", ErrUnknownActivity, a)
+		}
+	}
+	return nil
+}
+
+// Condition returns the Boolean function on edge (from, to), defaulting to
+// True for unannotated edges.
+func (p *Process) Condition(from, to string) Condition {
+	if c, ok := p.Conditions[graph.Edge{From: from, To: to}]; ok && c != nil {
+		return c
+	}
+	return True{}
+}
+
+// Output evaluates o(activity) with the given PRNG; activities without an
+// output function yield nil.
+func (p *Process) Output(activity string, rng *rand.Rand) wlog.Output {
+	if f, ok := p.Outputs[activity]; ok && f != nil {
+		return f(rng)
+	}
+	return nil
+}
+
+// Activities returns the activity names, sorted.
+func (p *Process) Activities() []string { return p.Graph.Vertices() }
+
+// Figure1 builds the example process of Figure 1 in the paper: activities
+// {A..E} with edges A->B, A->C, B->E, C->D, C->E, D->E; A initiates and E
+// terminates. Outputs are 2-vectors of uniform integers in [0,10) and the
+// edge C->D carries the paper's example condition
+// (o(C)[0] > 0) && (o(C)[1] < o(C)[0]) approximated as threshold conjuncts.
+func Figure1() *Process {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "E"},
+		graph.Edge{From: "C", To: "D"},
+		graph.Edge{From: "C", To: "E"},
+		graph.Edge{From: "D", To: "E"},
+	)
+	return &Process{
+		Name:  "Figure1",
+		Graph: g,
+		Start: "A",
+		End:   "E",
+		Outputs: map[string]OutputFunc{
+			"A": UniformOutput(2, 10),
+			"B": UniformOutput(2, 10),
+			"C": UniformOutput(2, 10),
+			"D": UniformOutput(2, 10),
+			"E": UniformOutput(2, 10),
+		},
+		Conditions: map[graph.Edge]Condition{
+			{From: "C", To: "D"}: And{Threshold{Index: 0, Op: GT, Value: 0}, Threshold{Index: 1, Op: LT, Value: 5}},
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"procmine/internal/graph"
+)
+
+// Process definitions serialize to a small JSON document so users can define
+// their own processes for the engine (cmd/loggen -definition). Conditions
+// use the textual syntax of ParseCondition; output functions serialize as
+// (width, max) uniform generators — the only distribution the format
+// supports, since arbitrary Go functions cannot round-trip.
+//
+//	{
+//	  "name": "Claims",
+//	  "start": "Register",
+//	  "end": "Close",
+//	  "edges": [
+//	    {"from": "Register", "to": "Check", "condition": "o[0] >= 5"},
+//	    {"from": "Check", "to": "Close"}
+//	  ],
+//	  "outputs": {"Register": {"width": 2, "max": 10}}
+//	}
+
+// jsonProcess is the wire form.
+type jsonProcess struct {
+	Name    string                `json:"name"`
+	Start   string                `json:"start"`
+	End     string                `json:"end"`
+	Edges   []jsonEdge            `json:"edges"`
+	Outputs map[string]jsonOutput `json:"outputs,omitempty"`
+}
+
+type jsonEdge struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Condition string `json:"condition,omitempty"`
+}
+
+type jsonOutput struct {
+	Width int `json:"width"`
+	Max   int `json:"max"`
+}
+
+// WriteProcess serializes a process definition. Output functions are
+// serialized only if they were created by UniformSpec (see ReadProcess);
+// other OutputFunc values are silently omitted because a Go closure has no
+// wire form.
+func WriteProcess(w io.Writer, p *Process, outputs map[string]UniformSpec) error {
+	doc := jsonProcess{
+		Name:  p.Name,
+		Start: p.Start,
+		End:   p.End,
+	}
+	for _, e := range p.Graph.Edges() {
+		je := jsonEdge{From: e.From, To: e.To}
+		if c, ok := p.Conditions[e]; ok && c != nil {
+			je.Condition = c.String()
+		}
+		doc.Edges = append(doc.Edges, je)
+	}
+	if len(outputs) > 0 {
+		doc.Outputs = make(map[string]jsonOutput, len(outputs))
+		keys := make([]string, 0, len(outputs))
+		for k := range outputs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			doc.Outputs[k] = jsonOutput{Width: outputs[k].Width, Max: outputs[k].Max}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// UniformSpec describes a UniformOutput generator in serializable form.
+type UniformSpec struct {
+	Width, Max int
+}
+
+// ReadProcess deserializes a process definition. Every activity named in
+// "outputs" gets a UniformOutput generator; conditions are parsed with
+// ParseCondition. The process is validated before returning.
+func ReadProcess(r io.Reader) (*Process, error) {
+	var doc jsonProcess
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("model: decoding process definition: %w", err)
+	}
+	g := graph.New()
+	p := &Process{
+		Name:       doc.Name,
+		Graph:      g,
+		Start:      doc.Start,
+		End:        doc.End,
+		Conditions: map[graph.Edge]Condition{},
+		Outputs:    map[string]OutputFunc{},
+	}
+	for _, je := range doc.Edges {
+		if je.From == "" || je.To == "" {
+			return nil, fmt.Errorf("model: edge with empty endpoint: %+v", je)
+		}
+		g.AddEdge(je.From, je.To)
+		if je.Condition != "" {
+			c, err := ParseCondition(je.Condition)
+			if err != nil {
+				return nil, fmt.Errorf("model: edge %s->%s: %w", je.From, je.To, err)
+			}
+			p.Conditions[graph.Edge{From: je.From, To: je.To}] = c
+		}
+	}
+	for act, spec := range doc.Outputs {
+		if spec.Width <= 0 || spec.Max <= 0 {
+			return nil, fmt.Errorf("model: output for %q needs positive width and max, got %+v", act, spec)
+		}
+		p.Outputs[act] = UniformOutput(spec.Width, spec.Max)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

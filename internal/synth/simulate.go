@@ -1,0 +1,190 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// Simulator generates executions of a process graph following the Section
+// 8.1 procedure: START is executed first and its direct successors enter a
+// ready list; the next activity is drawn from the list at random; once an
+// activity A is logged it leaves the list together with every listed
+// activity B that has a (B, A) dependency (B should have preceded A, so B's
+// turn has passed), and A's successors join the list. Selecting END
+// terminates the execution, which is how activities come to be skipped.
+//
+// Two refinements keep every generated execution consistent with the graph
+// in the sense of Definition 6 (the paper states the kill rule in terms of
+// dependencies, i.e. transitively; we also apply it when inserting):
+//
+//   - the kill test uses paths, not single edges: B dies when any executed
+//     activity is reachable from B;
+//   - a successor is not inserted if it is already executed, listed, or dead.
+//
+// If the ready list drains before END is drawn (possible in sparse graphs
+// when all remaining branches die), END is appended so the execution
+// terminates at the process's terminating activity.
+type Simulator struct {
+	g          *graph.Digraph
+	rng        *rand.Rand
+	names      []string        // dense index -> name
+	index      map[string]int  // name -> dense index
+	desc       []*graph.Bitset // descendant sets for the dead test
+	succ       [][]int         // successor indices, sorted for determinism
+	start, end int
+
+	// EndBias, when in (0, 1), is the probability that END is selected as
+	// soon as it is ready even if other activities are ready; otherwise END
+	// competes uniformly with the rest of the list. Lower values produce
+	// longer executions. Zero means uniform selection (the paper's rule).
+	EndBias float64
+
+	clock time.Time
+	step  time.Duration
+}
+
+// NewSimulator validates that g has the canonical START/END endpoints and
+// prepares reachability indexes. The rng drives all random choices, so a
+// fixed seed reproduces the log exactly.
+func NewSimulator(g *graph.Digraph, rng *rand.Rand) (*Simulator, error) {
+	if !g.HasVertex(StartActivity) || !g.HasVertex(EndActivity) {
+		return nil, fmt.Errorf("synth: graph lacks %s/%s vertices", StartActivity, EndActivity)
+	}
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("synth: simulator requires an acyclic graph: %w", graph.ErrCyclic)
+	}
+	names := g.Vertices()
+	index := make(map[string]int, len(names))
+	for i, v := range names {
+		index[v] = i
+	}
+	n := len(names)
+	succ := make([][]int, n)
+	for i, v := range names {
+		for _, s := range g.Successors(v) {
+			succ[i] = append(succ[i], index[s])
+		}
+		sort.Ints(succ[i])
+	}
+	// Descendant bitsets via reverse topological order.
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	desc := make([]*graph.Bitset, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := index[order[i]]
+		d := graph.NewBitset(n)
+		for _, v := range succ[u] {
+			d.Set(v)
+			d.Or(desc[v])
+		}
+		desc[u] = d
+	}
+	return &Simulator{
+		g:     g,
+		rng:   rng,
+		names: names,
+		index: index,
+		desc:  desc,
+		succ:  succ,
+		start: index[StartActivity],
+		end:   index[EndActivity],
+		clock: time.Date(1998, time.January, 22, 0, 0, 0, 0, time.UTC),
+		step:  time.Millisecond,
+	}, nil
+}
+
+// Run generates one execution with the given ID. Activities are logged with
+// strictly increasing, non-overlapping timestamps drawn from the simulator's
+// monotone clock, so executions generated in sequence never interleave.
+func (s *Simulator) Run(id string) wlog.Execution {
+	n := len(s.names)
+	executed := graph.NewBitset(n)
+	listed := graph.NewBitset(n)
+	var list []int
+
+	exec := wlog.Execution{ID: id}
+	logActivity := func(v int) {
+		start := s.clock
+		s.clock = s.clock.Add(s.step)
+		end := s.clock
+		s.clock = s.clock.Add(s.step)
+		exec.Steps = append(exec.Steps, wlog.Step{Activity: s.names[v], Start: start, End: end})
+		executed.Set(v)
+	}
+
+	// dead reports whether v's turn has passed: something reachable from v
+	// already executed.
+	dead := func(v int) bool { return s.desc[v].Intersects(executed) }
+
+	insertSuccessors := func(v int) {
+		for _, w := range s.succ[v] {
+			if executed.Has(w) || listed.Has(w) || dead(w) {
+				continue
+			}
+			listed.Set(w)
+			list = append(list, w)
+		}
+	}
+
+	logActivity(s.start)
+	insertSuccessors(s.start)
+
+	for len(list) > 0 {
+		var pick int
+		if s.EndBias > 0 && listed.Has(s.end) && s.rng.Float64() < s.EndBias {
+			pick = indexOfInt(list, s.end)
+		} else {
+			pick = s.rng.Intn(len(list))
+		}
+		v := list[pick]
+		list = append(list[:pick], list[pick+1:]...)
+		listed.Clear(v)
+
+		logActivity(v)
+		if v == s.end {
+			return exec
+		}
+		// Kill rule: remove every listed activity whose turn has passed.
+		kept := list[:0]
+		for _, w := range list {
+			if dead(w) {
+				listed.Clear(w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		list = kept
+		insertSuccessors(v)
+	}
+	// Ready list drained without selecting END: terminate explicitly.
+	if !executed.Has(s.end) {
+		logActivity(s.end)
+	}
+	return exec
+}
+
+// GenerateLog produces m executions named <prefix>0001... and returns them
+// as a log.
+func (s *Simulator) GenerateLog(prefix string, m int) *wlog.Log {
+	l := &wlog.Log{Executions: make([]wlog.Execution, 0, m)}
+	for i := 1; i <= m; i++ {
+		l.Executions = append(l.Executions, s.Run(fmt.Sprintf("%s%04d", prefix, i)))
+	}
+	return l
+}
+
+func indexOfInt(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"procmine/internal/graph"
+	"procmine/internal/wlog"
+)
+
+// Cyclic workload generation (Section 5). The DAG simulator cannot walk a
+// cyclic graph directly, so cyclic logs are produced by unrolling: every
+// vertex on a cycle is replicated k times ("B@1", "B@2", ...), forward
+// edges stay within an iteration, back edges advance to the next iteration,
+// and loop entries always land in iteration 1. The unrolled graph is a DAG
+// with the same single source and sink, the ordinary simulator runs on it,
+// and the iteration suffixes are stripped from the resulting executions —
+// yielding logs in which loop bodies repeat, exactly what Algorithm 3
+// labels apart again.
+
+// iterSep separates a vertex name from its unroll iteration. It must differ
+// from core's instance separator '#' so unrolled names never collide with
+// Algorithm 3's labels.
+const iterSep = "@"
+
+// Unroll replicates the cyclic parts of g k times, producing a DAG. start
+// and end must not lie on a cycle; activity names must not contain '@'.
+func Unroll(g *graph.Digraph, start, end string, k int) (*graph.Digraph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("synth: unroll needs k >= 1, got %d", k)
+	}
+	for _, v := range g.Vertices() {
+		if strings.Contains(v, iterSep) {
+			return nil, fmt.Errorf("synth: activity name %q contains reserved separator %q", v, iterSep)
+		}
+	}
+	// Replication counts: k inside multi-vertex SCCs (or self-loops), 1
+	// elsewhere.
+	rep := map[string]int{}
+	inCycle := map[string]bool{}
+	comp := map[string]int{}
+	for ci, c := range g.SCCs() {
+		for _, v := range c {
+			comp[v] = ci
+			rep[v] = 1
+			if len(c) > 1 || g.HasEdge(v, v) {
+				rep[v] = k
+				inCycle[v] = true
+			}
+		}
+	}
+	if inCycle[start] || inCycle[end] {
+		return nil, fmt.Errorf("synth: start %q or end %q lies on a cycle", start, end)
+	}
+
+	back := backEdges(g)
+	name := func(v string, i int) string {
+		if rep[v] == 1 {
+			return v
+		}
+		return v + iterSep + strconv.Itoa(i)
+	}
+
+	u := graph.New()
+	for _, v := range g.Vertices() {
+		for i := 1; i <= rep[v]; i++ {
+			u.AddVertex(name(v, i))
+		}
+	}
+	for _, e := range g.Edges() {
+		switch {
+		case comp[e.From] == comp[e.To] && back[e]:
+			// Back edge: advance the iteration.
+			for i := 1; i < k; i++ {
+				u.AddEdge(name(e.From, i), name(e.To, i+1))
+			}
+		case comp[e.From] == comp[e.To] && inCycle[e.From]:
+			// Forward edge within a loop body: stay in the iteration.
+			for i := 1; i <= k; i++ {
+				u.AddEdge(name(e.From, i), name(e.To, i))
+			}
+		default:
+			// Cross-component edge: loop entries start at iteration 1,
+			// loop exits leave from every iteration.
+			for i := 1; i <= rep[e.From]; i++ {
+				u.AddEdge(name(e.From, i), name(e.To, 1))
+			}
+		}
+	}
+	// Unrolling can leave late iterations of *entry* vertices unreachable
+	// in irreducible loops; prune anything not reachable from start.
+	reachable := map[string]bool{start: true}
+	for _, v := range u.ReachableSet(start) {
+		reachable[v] = true
+	}
+	var keep []string
+	for _, v := range u.Vertices() {
+		if reachable[v] {
+			keep = append(keep, v)
+		}
+	}
+	u = u.InducedSubgraph(keep)
+	if !u.IsDAG() {
+		return nil, fmt.Errorf("synth: unrolled graph still cyclic (internal error)")
+	}
+	return u, nil
+}
+
+// backEdges classifies edges via DFS: an edge to a vertex on the current
+// DFS stack is a back edge. Removing back edges always leaves a DAG.
+func backEdges(g *graph.Digraph) map[graph.Edge]bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	back := map[graph.Edge]bool{}
+	var dfs func(v string)
+	dfs = func(v string) {
+		color[v] = gray
+		for _, w := range g.Successors(v) {
+			switch color[w] {
+			case white:
+				dfs(w)
+			case gray:
+				back[graph.Edge{From: v, To: w}] = true
+			}
+		}
+		color[v] = black
+	}
+	for _, v := range g.Vertices() {
+		if color[v] == white {
+			dfs(v)
+		}
+	}
+	return back
+}
+
+// stripIteration removes the unroll suffix: "B@2" -> "B".
+func stripIteration(v string) string {
+	if i := strings.LastIndex(v, iterSep); i >= 0 {
+		return v[:i]
+	}
+	return v
+}
+
+// CyclicSimulator generates executions of a cyclic process graph by
+// simulating its k-unrolling and stripping the iteration labels.
+type CyclicSimulator struct {
+	sim *Simulator
+}
+
+// NewCyclicSimulator unrolls g (which must carry the canonical START/END
+// endpoints, both off-cycle) maxIterations times and prepares the
+// underlying DAG simulator; the rng drives all random choices.
+func NewCyclicSimulator(g *graph.Digraph, maxIterations int, rng *rand.Rand) (*CyclicSimulator, error) {
+	u, err := Unroll(g, StartActivity, EndActivity, maxIterations)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := NewSimulator(u, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &CyclicSimulator{sim: sim}, nil
+}
+
+// EndBias passes through to the underlying simulator.
+func (c *CyclicSimulator) SetEndBias(b float64) { c.sim.EndBias = b }
+
+// Run generates one execution with loop iterations flattened back onto the
+// original activity names, so loop bodies repeat within the execution.
+func (c *CyclicSimulator) Run(id string) wlog.Execution {
+	exec := c.sim.Run(id)
+	for i := range exec.Steps {
+		exec.Steps[i].Activity = stripIteration(exec.Steps[i].Activity)
+	}
+	return exec
+}
+
+// GenerateLog produces m executions named <prefix>0001...
+func (c *CyclicSimulator) GenerateLog(prefix string, m int) *wlog.Log {
+	l := &wlog.Log{Executions: make([]wlog.Execution, 0, m)}
+	for i := 1; i <= m; i++ {
+		l.Executions = append(l.Executions, c.Run(fmt.Sprintf("%s%04d", prefix, i)))
+	}
+	return l
+}

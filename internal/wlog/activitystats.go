@@ -1,0 +1,95 @@
+package wlog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ActivityStat summarizes one activity's behaviour across a log — the raw
+// material for the paper's "evaluation of the workflow system" use case
+// (where are the slow steps, which activities are rare).
+type ActivityStat struct {
+	// Name is the activity name.
+	Name string
+	// Instances counts activity instances across all executions.
+	Instances int
+	// Executions counts executions containing the activity at least once.
+	Executions int
+	// MinDur, MeanDur, MaxDur summarize instance durations (END - START).
+	MinDur, MeanDur, MaxDur time.Duration
+}
+
+// ActivityStats computes per-activity statistics, sorted by name.
+func (l *Log) ActivityStats() []ActivityStat {
+	type acc struct {
+		instances int
+		execs     int
+		total     time.Duration
+		min, max  time.Duration
+	}
+	accs := map[string]*acc{}
+	for _, e := range l.Executions {
+		seen := map[string]bool{}
+		for _, s := range e.Steps {
+			a := accs[s.Activity]
+			if a == nil {
+				a = &acc{min: time.Duration(1<<63 - 1)}
+				accs[s.Activity] = a
+			}
+			d := s.End.Sub(s.Start)
+			a.instances++
+			a.total += d
+			if d < a.min {
+				a.min = d
+			}
+			if d > a.max {
+				a.max = d
+			}
+			if !seen[s.Activity] {
+				seen[s.Activity] = true
+				a.execs++
+			}
+		}
+	}
+	names := make([]string, 0, len(accs))
+	for n := range accs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ActivityStat, 0, len(names))
+	for _, n := range names {
+		a := accs[n]
+		out = append(out, ActivityStat{
+			Name:       n,
+			Instances:  a.instances,
+			Executions: a.execs,
+			MinDur:     a.min,
+			MeanDur:    a.total / time.Duration(a.instances),
+			MaxDur:     a.max,
+		})
+	}
+	return out
+}
+
+// WriteActivityStats renders the per-activity table.
+func (l *Log) WriteActivityStats(w io.Writer) error {
+	stats := l.ActivityStats()
+	total := l.Len()
+	if _, err := fmt.Fprintf(w, "%-24s %10s %12s %12s %12s %12s\n",
+		"activity", "instances", "in % execs", "min dur", "mean dur", "max dur"); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Executions) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %10d %11.1f%% %12s %12s %12s\n",
+			s.Name, s.Instances, pct, s.MinDur, s.MeanDur, s.MaxDur); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package wlog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The text codec writes one event per line:
+//
+//	<process> <activity> START|END <unix-nanos> [<out0> <out1> ...]
+//
+// Fields are space-separated; process and activity names therefore must not
+// contain spaces (names with spaces should use the CSV or JSON codec).
+
+// WriteText writes events in the text-log format.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		if strings.ContainsAny(ev.ProcessID, " \t\n") || strings.ContainsAny(ev.Activity, " \t\n") {
+			return fmt.Errorf("wlog: text codec cannot encode name with whitespace: %q/%q", ev.ProcessID, ev.Activity)
+		}
+		if _, err := bw.WriteString(ev.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text-log format. Blank lines and lines starting with
+// '#' are skipped. For very large trails prefer StreamText, which does not
+// materialize the slice.
+func ReadText(r io.Reader) ([]Event, error) {
+	var events []Event
+	err := StreamText(r, func(ev Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// csvHeader is the fixed column set of the CSV codec.
+var csvHeader = []string{"process", "activity", "type", "time_unix_nanos", "output"}
+
+// WriteCSV writes events as CSV with a header row. The output vector is
+// encoded as semicolon-joined integers in the final column.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		out := make([]string, len(ev.Output))
+		for i, v := range ev.Output {
+			out[i] = strconv.Itoa(v)
+		}
+		rec := []string{
+			ev.ProcessID,
+			ev.Activity,
+			ev.Type.String(),
+			strconv.FormatInt(ev.Time.UnixNano(), 10),
+			strings.Join(out, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the CSV codec's output (header row required).
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("wlog: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("wlog: CSV header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var events []Event
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wlog: reading CSV: %w", err)
+		}
+		ev, err := decodeCSVRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// decodeCSVRecord decodes one data row of the CSV codec.
+func decodeCSVRecord(rec []string) (Event, error) {
+	typ, err := ParseEventType(rec[2])
+	if err != nil {
+		return Event{}, err
+	}
+	ns, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("wlog: bad CSV timestamp %q: %w", rec[3], err)
+	}
+	ev := Event{
+		ProcessID: rec[0],
+		Activity:  rec[1],
+		Type:      typ,
+		Time:      time.Unix(0, ns).UTC(),
+	}
+	if rec[4] != "" {
+		for _, f := range strings.Split(rec[4], ";") {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return Event{}, fmt.Errorf("wlog: bad CSV output value %q: %w", f, err)
+			}
+			ev.Output = append(ev.Output, v)
+		}
+	}
+	return ev, nil
+}
+
+// jsonEvent is the wire form of an event for the JSON codec.
+type jsonEvent struct {
+	Process  string `json:"process"`
+	Activity string `json:"activity"`
+	Type     string `json:"type"`
+	TimeNS   int64  `json:"time_unix_nanos"`
+	Output   []int  `json:"output,omitempty"`
+}
+
+// WriteJSON writes events as a JSON array.
+func WriteJSON(w io.Writer, events []Event) error {
+	arr := make([]jsonEvent, len(events))
+	for i, ev := range events {
+		arr[i] = jsonEvent{
+			Process:  ev.ProcessID,
+			Activity: ev.Activity,
+			Type:     ev.Type.String(),
+			TimeNS:   ev.Time.UnixNano(),
+			Output:   ev.Output,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// ReadJSON parses the JSON codec's output.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	var arr []jsonEvent
+	if err := json.NewDecoder(r).Decode(&arr); err != nil {
+		return nil, fmt.Errorf("wlog: decoding JSON: %w", err)
+	}
+	events := make([]Event, len(arr))
+	for i, je := range arr {
+		typ, err := ParseEventType(je.Type)
+		if err != nil {
+			return nil, err
+		}
+		events[i] = Event{
+			ProcessID: je.Process,
+			Activity:  je.Activity,
+			Type:      typ,
+			Time:      time.Unix(0, je.TimeNS).UTC(),
+			Output:    je.Output,
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,187 @@
+package wlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	t0 := time.Unix(0, 1000).UTC()
+	return []Event{
+		{ProcessID: "p1", Activity: "A", Type: Start, Time: t0},
+		{ProcessID: "p1", Activity: "A", Type: End, Time: t0.Add(time.Microsecond), Output: Output{3, 1}},
+		{ProcessID: "p1", Activity: "B", Type: Start, Time: t0.Add(2 * time.Microsecond)},
+		{ProcessID: "p1", Activity: "B", Type: End, Time: t0.Add(3 * time.Microsecond), Output: Output{0}},
+		{ProcessID: "p2", Activity: "A", Type: Start, Time: t0.Add(4 * time.Microsecond)},
+		{ProcessID: "p2", Activity: "A", Type: End, Time: t0.Add(5 * time.Microsecond)},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteText(&buf, events); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, events)
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# audit trail\n\np1 A START 100\np1 A END 200 5\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2", len(got))
+	}
+	if !got[1].Output.Equal(Output{5}) {
+		t.Fatalf("output = %v, want [5]", got[1].Output)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"p1 A START",          // too few fields
+		"p1 A MIDDLE 100",     // bad type
+		"p1 A START notanint", // bad time
+		"p1 A END 100 x",      // bad output
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestTextRejectsWhitespaceNames(t *testing.T) {
+	evs := []Event{{ProcessID: "has space", Activity: "A", Type: Start, Time: time.Unix(0, 0)}}
+	if err := WriteText(&bytes.Buffer{}, evs); err == nil {
+		t.Fatal("WriteText accepted process name with space")
+	}
+	evs = []Event{{ProcessID: "p", Activity: "a b", Type: Start, Time: time.Unix(0, 0)}}
+	if err := WriteText(&bytes.Buffer{}, evs); err == nil {
+		t.Fatal("WriteText accepted activity name with space")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, events)
+	}
+}
+
+func TestCSVHandlesNamesWithSpaces(t *testing.T) {
+	t0 := time.Unix(0, 7).UTC()
+	events := []Event{
+		{ProcessID: "Upload and Notify 1", Activity: "Check Request", Type: Start, Time: t0},
+		{ProcessID: "Upload and Notify 1", Activity: "Check Request", Type: End, Time: t0.Add(1), Output: Output{1, 2, 3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, events)
+	}
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	in := "a,b,c,d,e\np,A,START,1,\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadCSV accepted wrong header")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("ReadCSV accepted empty input")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	head := strings.Join(csvHeader, ",") + "\n"
+	cases := []string{
+		head + "p,A,WRONG,1,\n",
+		head + "p,A,START,xx,\n",
+		head + "p,A,END,1,a;b\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV accepted invalid row in %q", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, events)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("ReadJSON accepted malformed JSON")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"process":"p","activity":"A","type":"NOPE","time_unix_nanos":1}]`)); err == nil {
+		t.Fatal("ReadJSON accepted bad event type")
+	}
+}
+
+func TestCodecsAgree(t *testing.T) {
+	// The same log written through all three codecs must decode identically.
+	events := sampleEvents()
+	var text, csvb, jsonb bytes.Buffer
+	if err := WriteText(&text, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csvb, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jsonb, events); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadText(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCSV(&csvb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadJSON(&jsonb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(b, c) {
+		t.Fatal("codecs disagree after round trip")
+	}
+}

@@ -1,0 +1,170 @@
+package wlog
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Utilities for slicing and combining logs: selection, sampling,
+// train/holdout splitting, merging, and projection. All functions return
+// new logs; executions are shared (treat them as immutable, as the rest of
+// the package does).
+
+// Filter returns the executions for which keep returns true.
+func (l *Log) Filter(keep func(Execution) bool) *Log {
+	out := &Log{}
+	for _, e := range l.Executions {
+		if keep(e) {
+			out.Executions = append(out.Executions, e)
+		}
+	}
+	return out
+}
+
+// WithActivity returns the executions containing the given activity.
+func (l *Log) WithActivity(activity string) *Log {
+	return l.Filter(func(e Execution) bool {
+		for _, s := range e.Steps {
+			if s.Activity == activity {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Between returns the executions that start at or after from and end at or
+// before to.
+func (l *Log) Between(from, to time.Time) *Log {
+	return l.Filter(func(e Execution) bool {
+		if len(e.Steps) == 0 {
+			return false
+		}
+		first := e.Steps[0].Start
+		last := e.Steps[0].End
+		for _, s := range e.Steps {
+			if s.End.After(last) {
+				last = s.End
+			}
+		}
+		return !first.Before(from) && !last.After(to)
+	})
+}
+
+// Sample returns n executions drawn uniformly without replacement (all of
+// them if n >= Len()). The input order is preserved.
+func (l *Log) Sample(rng *rand.Rand, n int) *Log {
+	if n >= l.Len() {
+		out := &Log{Executions: make([]Execution, l.Len())}
+		copy(out.Executions, l.Executions)
+		return out
+	}
+	if n <= 0 {
+		return &Log{}
+	}
+	// Reservoir-free selection: choose indices via partial shuffle.
+	idx := make([]int, l.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	chosen := append([]int(nil), idx[:n]...)
+	// Restore input order.
+	mark := make(map[int]bool, n)
+	for _, i := range chosen {
+		mark[i] = true
+	}
+	out := &Log{Executions: make([]Execution, 0, n)}
+	for i, e := range l.Executions {
+		if mark[i] {
+			out.Executions = append(out.Executions, e)
+		}
+	}
+	return out
+}
+
+// Split partitions the log into a training part with the given fraction of
+// executions (rounded down, at least one if the log is non-empty and frac >
+// 0) and a holdout with the rest. The split is positional: callers wanting a
+// random split should Sample or shuffle first.
+func (l *Log) Split(frac float64) (train, holdout *Log) {
+	n := int(frac * float64(l.Len()))
+	if n < 1 && l.Len() > 0 && frac > 0 {
+		n = 1
+	}
+	if n > l.Len() {
+		n = l.Len()
+	}
+	train = &Log{Executions: append([]Execution(nil), l.Executions[:n]...)}
+	holdout = &Log{Executions: append([]Execution(nil), l.Executions[n:]...)}
+	return train, holdout
+}
+
+// Merge concatenates logs into one. Duplicate execution IDs are kept as-is;
+// Validate flags them if callers care.
+func Merge(logs ...*Log) *Log {
+	out := &Log{}
+	for _, l := range logs {
+		out.Executions = append(out.Executions, l.Executions...)
+	}
+	return out
+}
+
+// Project returns a copy of the log restricted to the given activities:
+// steps of other activities are dropped. Executions left empty are removed.
+func (l *Log) Project(activities ...string) *Log {
+	keep := make(map[string]bool, len(activities))
+	for _, a := range activities {
+		keep[a] = true
+	}
+	out := &Log{}
+	for _, e := range l.Executions {
+		var steps []Step
+		for _, s := range e.Steps {
+			if keep[s.Activity] {
+				steps = append(steps, s)
+			}
+		}
+		if len(steps) > 0 {
+			out.Executions = append(out.Executions, Execution{ID: e.ID, Steps: steps})
+		}
+	}
+	return out
+}
+
+// Variants groups executions by their activity sequence and returns the
+// distinct sequences with their frequencies, most frequent first (ties by
+// sequence string). This is the classic "trace variants" view of a log.
+func (l *Log) Variants() []Variant {
+	counts := map[string]int{}
+	for _, e := range l.Executions {
+		counts[e.String()]++
+	}
+	out := make([]Variant, 0, len(counts))
+	for s, c := range counts {
+		out = append(out, Variant{Sequence: s, Count: c})
+	}
+	sortVariants(out)
+	return out
+}
+
+// Variant is one distinct activity sequence and its frequency in the log.
+type Variant struct {
+	Sequence string
+	Count    int
+}
+
+func sortVariants(vs []Variant) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := vs[j-1], vs[j]
+			if a.Count > b.Count || (a.Count == b.Count && a.Sequence <= b.Sequence) {
+				break
+			}
+			vs[j-1], vs[j] = b, a
+		}
+	}
+}

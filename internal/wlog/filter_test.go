@@ -1,0 +1,151 @@
+package wlog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFilter(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDE", "AB")
+	got := l.Filter(func(e Execution) bool { return len(e.Steps) == 4 })
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	if l.Len() != 3 {
+		t.Fatal("Filter mutated input")
+	}
+}
+
+func TestWithActivity(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDE", "AB")
+	got := l.WithActivity("D")
+	if got.Len() != 1 || got.Executions[0].String() != "ACDE" {
+		t.Fatalf("WithActivity(D) = %v", got.Executions)
+	}
+	if l.WithActivity("Z").Len() != 0 {
+		t.Fatal("WithActivity(Z) nonempty")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	// FromSequence anchors at the same base per execution, so shift them.
+	a := FromString("a", "AB")
+	b := FromString("b", "AB")
+	shift := 10 * time.Minute
+	for i := range b.Steps {
+		b.Steps[i].Start = b.Steps[i].Start.Add(shift)
+		b.Steps[i].End = b.Steps[i].End.Add(shift)
+	}
+	l := &Log{Executions: []Execution{a, b}}
+	from := a.Steps[0].Start
+	to := a.Steps[len(a.Steps)-1].End
+	got := l.Between(from, to)
+	if got.Len() != 1 || got.Executions[0].ID != "a" {
+		t.Fatalf("Between = %v", got.Executions)
+	}
+	if l.Between(from, to.Add(shift)).Len() != 2 {
+		t.Fatal("wide window should include both")
+	}
+}
+
+func TestSample(t *testing.T) {
+	l := LogFromStrings("A", "B", "C", "D", "E", "F")
+	rng := rand.New(rand.NewSource(1))
+	got := l.Sample(rng, 3)
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", got.Len())
+	}
+	// Order preserved and no duplicates.
+	seen := map[string]bool{}
+	lastIdx := -1
+	index := map[string]int{}
+	for i, e := range l.Executions {
+		index[e.ID] = i
+	}
+	for _, e := range got.Executions {
+		if seen[e.ID] {
+			t.Fatalf("duplicate execution %s", e.ID)
+		}
+		seen[e.ID] = true
+		if index[e.ID] < lastIdx {
+			t.Fatal("sample does not preserve input order")
+		}
+		lastIdx = index[e.ID]
+	}
+	if l.Sample(rng, 10).Len() != 6 {
+		t.Fatal("oversample should return everything")
+	}
+	if l.Sample(rng, 0).Len() != 0 || l.Sample(rng, -1).Len() != 0 {
+		t.Fatal("non-positive sample should be empty")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	l := LogFromStrings("A", "B", "C", "D", "E")
+	train, holdout := l.Split(0.6)
+	if train.Len() != 3 || holdout.Len() != 2 {
+		t.Fatalf("Split(0.6) = %d/%d, want 3/2", train.Len(), holdout.Len())
+	}
+	train, holdout = l.Split(0.01)
+	if train.Len() != 1 || holdout.Len() != 4 {
+		t.Fatalf("tiny fraction should keep one training execution, got %d/%d", train.Len(), holdout.Len())
+	}
+	train, holdout = l.Split(2.0)
+	if train.Len() != 5 || holdout.Len() != 0 {
+		t.Fatalf("fraction > 1 should take everything, got %d/%d", train.Len(), holdout.Len())
+	}
+	train, holdout = (&Log{}).Split(0.5)
+	if train.Len() != 0 || holdout.Len() != 0 {
+		t.Fatal("empty log split nonempty")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := LogFromStrings("AB")
+	b := LogFromStrings("CD", "EF")
+	got := Merge(a, b, &Log{})
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", got.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	l := LogFromStrings("ABCE", "BDB")
+	got := l.Project("B", "C")
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	if got.Executions[0].String() != "BC" {
+		t.Errorf("projection = %q, want BC", got.Executions[0].String())
+	}
+	if got.Executions[1].String() != "BB" {
+		t.Errorf("projection = %q, want BB", got.Executions[1].String())
+	}
+	if l.Project("Z").Len() != 0 {
+		t.Error("projection onto absent activity nonempty")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDE", "ABCE", "ABCE", "ACDE", "AB")
+	got := l.Variants()
+	want := []Variant{
+		{Sequence: "ABCE", Count: 3},
+		{Sequence: "ACDE", Count: 2},
+		{Sequence: "AB", Count: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Variants = %v, want %v", got, want)
+	}
+}
+
+func TestVariantsTieBreak(t *testing.T) {
+	l := LogFromStrings("B", "A")
+	got := l.Variants()
+	want := []Variant{{Sequence: "A", Count: 1}, {Sequence: "B", Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Variants = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package wlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks that arbitrary input never panics the text decoder
+// and that successfully decoded events re-encode and re-decode to the same
+// events (round-trip stability).
+func FuzzReadText(f *testing.F) {
+	f.Add("p A START 100\np A END 200 5\n")
+	f.Add("# comment\n\np1 Upload START 1\np1 Upload END 2 7 8 9\n")
+	f.Add("x y z w\n")
+	f.Add("p A START notanumber\n")
+	f.Add("p A END 100 -3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, events); err != nil {
+			// Names with whitespace cannot appear: Fields split them.
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded text failed to decode: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(again), len(events))
+		}
+		for i := range events {
+			if events[i].String() != again[i].String() {
+				t.Fatalf("event %d changed: %q != %q", i, events[i].String(), again[i].String())
+			}
+		}
+	})
+}
+
+// FuzzAssemble checks that assembling arbitrary decoded event streams never
+// panics and that successful assemblies validate.
+func FuzzAssemble(f *testing.F) {
+	f.Add("p A START 1\np A END 2\n")
+	f.Add("p A START 1\np B START 2\np A END 3\np B END 4\n")
+	f.Add("p A END 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		l, err := Assemble(events)
+		if err != nil {
+			return
+		}
+		for _, e := range l.Executions {
+			_ = e.String()
+			_ = e.ActivitySet()
+		}
+		_ = l.ComputeStats()
+	})
+}

@@ -1,0 +1,196 @@
+package wlog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StreamText reads the text-log format one event at a time, calling fn for
+// each record without materializing the whole log — the entry point for
+// feeding very large or live audit trails into an IncrementalMiner.
+// Returning a non-nil error from fn stops the scan and propagates the error.
+func StreamText(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseTextLine(line)
+		if err != nil {
+			return fmt.Errorf("wlog: line %d: %w", lineno, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("wlog: scanning: %w", err)
+	}
+	return nil
+}
+
+// parseTextLine decodes one text-codec line.
+func parseTextLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Event{}, fmt.Errorf("need at least 4 fields, got %d", len(fields))
+	}
+	typ, err := ParseEventType(fields[2])
+	if err != nil {
+		return Event{}, err
+	}
+	ns, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad timestamp %q: %w", fields[3], err)
+	}
+	ev := Event{
+		ProcessID: fields[0],
+		Activity:  fields[1],
+		Type:      typ,
+		Time:      time.Unix(0, ns).UTC(),
+	}
+	for _, f := range fields[4:] {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad output value %q: %w", f, err)
+		}
+		ev.Output = append(ev.Output, v)
+	}
+	return ev, nil
+}
+
+// ExecutionStream groups a stream of events into completed executions on
+// the fly. Events may interleave across executions; an execution is emitted
+// once every START it received has a matching END and Flush or a later
+// event for the same execution does not arrive before Close. Because "no
+// more events for this execution" is undecidable mid-stream, completion is
+// signalled explicitly: Push returns executions it can close opportunistically
+// (all instances ended), and Close drains the rest.
+type ExecutionStream struct {
+	open map[string]*streamExec
+	emit func(Execution) error
+}
+
+type streamExec struct {
+	steps   []Step
+	pending map[string][]int // activity -> open step indices
+	started int
+	ended   int
+}
+
+// NewExecutionStream returns a stream that calls emit for each completed
+// execution.
+func NewExecutionStream(emit func(Execution) error) *ExecutionStream {
+	return &ExecutionStream{open: map[string]*streamExec{}, emit: emit}
+}
+
+// Push adds one event. When the event closes an execution's last open
+// activity instance, the execution is NOT yet emitted (more instances may
+// follow); emission happens in Close, or earlier via EmitCompleted.
+func (s *ExecutionStream) Push(ev Event) error {
+	se := s.open[ev.ProcessID]
+	if se == nil {
+		se = &streamExec{pending: map[string][]int{}}
+		s.open[ev.ProcessID] = se
+	}
+	switch ev.Type {
+	case Start:
+		se.pending[ev.Activity] = append(se.pending[ev.Activity], len(se.steps))
+		se.steps = append(se.steps, Step{Activity: ev.Activity, Start: ev.Time})
+		se.started++
+	case End:
+		q := se.pending[ev.Activity]
+		if len(q) == 0 {
+			return fmt.Errorf("wlog: stream: execution %q: END of %q without START", ev.ProcessID, ev.Activity)
+		}
+		idx := q[0]
+		se.pending[ev.Activity] = q[1:]
+		se.steps[idx].End = ev.Time
+		se.steps[idx].Output = ev.Output.Clone()
+		se.ended++
+	default:
+		return fmt.Errorf("wlog: stream: invalid event type %v", ev.Type)
+	}
+	return nil
+}
+
+// EmitCompleted emits and forgets every execution whose instances have all
+// ended. Call it at natural boundaries (e.g. end of a day's trail) to bound
+// memory; executions that later receive more events would then surface as a
+// second execution with the same ID, which Log.Validate flags.
+func (s *ExecutionStream) EmitCompleted() error {
+	ids := make([]string, 0, len(s.open))
+	for id, se := range s.open {
+		if se.started == se.ended && se.started > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		se := s.open[id]
+		delete(s.open, id)
+		steps := se.steps
+		sort.SliceStable(steps, func(i, j int) bool { return steps[i].Start.Before(steps[j].Start) })
+		if err := s.emit(Execution{ID: id, Steps: steps}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close emits all completed executions and errors if any execution still
+// has unmatched STARTs.
+func (s *ExecutionStream) Close() error {
+	if err := s.EmitCompleted(); err != nil {
+		return err
+	}
+	for id, se := range s.open {
+		if se.started != se.ended {
+			return fmt.Errorf("wlog: stream: execution %q has %d unterminated activities",
+				id, se.started-se.ended)
+		}
+	}
+	return nil
+}
+
+// StreamCSV reads the CSV codec one event at a time (header row required),
+// the CSV counterpart of StreamText.
+func StreamCSV(r io.Reader, fn func(Event) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("wlog: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return fmt.Errorf("wlog: CSV header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wlog: reading CSV: %w", err)
+		}
+		ev, err := decodeCSVRecord(rec)
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}

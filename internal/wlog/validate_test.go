@@ -1,0 +1,116 @@
+package wlog
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateOK(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDE")
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateEmptyExecution(t *testing.T) {
+	l := &Log{Executions: []Execution{{ID: "x"}}}
+	if err := l.Validate(); !errors.Is(err, ErrEmptyExecution) {
+		t.Fatalf("err = %v, want ErrEmptyExecution", err)
+	}
+}
+
+func TestValidateDuplicateID(t *testing.T) {
+	l := &Log{Executions: []Execution{FromString("x", "AB"), FromString("x", "AB")}}
+	if err := l.Validate(); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestValidateNegativeDuration(t *testing.T) {
+	t0 := time.Unix(10, 0)
+	l := &Log{Executions: []Execution{{
+		ID:    "x",
+		Steps: []Step{{Activity: "A", Start: t0, End: t0.Add(-time.Second)}},
+	}}}
+	if err := l.Validate(); !errors.Is(err, ErrNegativeDuration) {
+		t.Fatalf("err = %v, want ErrNegativeDuration", err)
+	}
+}
+
+func TestValidateUnordered(t *testing.T) {
+	t0 := time.Unix(10, 0)
+	l := &Log{Executions: []Execution{{
+		ID: "x",
+		Steps: []Step{
+			{Activity: "B", Start: t0.Add(time.Second), End: t0.Add(2 * time.Second)},
+			{Activity: "A", Start: t0, End: t0.Add(time.Millisecond)},
+		},
+	}}}
+	if err := l.Validate(); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("err = %v, want ErrUnordered", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDBE", "ACE")
+	st := l.ComputeStats()
+	if st.Executions != 3 {
+		t.Errorf("Executions = %d, want 3", st.Executions)
+	}
+	if st.Activities != 5 {
+		t.Errorf("Activities = %d, want 5", st.Activities)
+	}
+	if st.Events != 2*(4+5+3) {
+		t.Errorf("Events = %d, want %d", st.Events, 2*(4+5+3))
+	}
+	if st.MinLen != 3 || st.MaxLen != 5 {
+		t.Errorf("Min/MaxLen = %d/%d, want 3/5", st.MinLen, st.MaxLen)
+	}
+	if math.Abs(st.MeanLen-4.0) > 1e-12 {
+		t.Errorf("MeanLen = %v, want 4", st.MeanLen)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := (&Log{}).ComputeStats()
+	if st.Executions != 0 || st.Events != 0 || st.MeanLen != 0 {
+		t.Fatalf("stats of empty log = %+v, want zeros", st)
+	}
+}
+
+func TestActivityStats(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDBE", "ABCE")
+	stats := l.ActivityStats()
+	if len(stats) != 5 {
+		t.Fatalf("got %d activities, want 5", len(stats))
+	}
+	byName := map[string]ActivityStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if a := byName["A"]; a.Instances != 3 || a.Executions != 3 {
+		t.Fatalf("A stats = %+v", a)
+	}
+	if d := byName["D"]; d.Instances != 1 || d.Executions != 1 {
+		t.Fatalf("D stats = %+v", d)
+	}
+	// FromString gives every step a 1ms duration.
+	if b := byName["B"]; b.MinDur != time.Millisecond || b.MaxDur != time.Millisecond || b.MeanDur != time.Millisecond {
+		t.Fatalf("B durations = %+v", b)
+	}
+	// Repeated activities count instances per occurrence.
+	cyc := LogFromStrings("ABCBCE")
+	if got := cyc.ActivityStats(); got[1].Name != "B" || got[1].Instances != 2 || got[1].Executions != 1 {
+		t.Fatalf("cyclic B stats = %+v", got[1])
+	}
+	var sb strings.Builder
+	if err := l.WriteActivityStats(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "activity") || !strings.Contains(sb.String(), "100.0%") {
+		t.Errorf("stats table malformed:\n%s", sb.String())
+	}
+}

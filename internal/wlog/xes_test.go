@@ -1,0 +1,201 @@
+package wlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestXESRoundTrip(t *testing.T) {
+	orig := LogFromStrings("ABCE", "ACDE")
+	// Attach an output vector to one step to exercise out:i attributes.
+	orig.Executions[0].Steps[1].Output = Output{7, 0, 3}
+
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, orig); err != nil {
+		t.Fatalf("WriteXES: %v", err)
+	}
+	got, err := ReadXES(&buf)
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round trip: %d executions, want %d", got.Len(), orig.Len())
+	}
+	byID := map[string]Execution{}
+	for _, e := range got.Executions {
+		byID[e.ID] = e
+	}
+	for _, want := range orig.Executions {
+		gotExec, ok := byID[want.ID]
+		if !ok {
+			t.Fatalf("execution %q missing", want.ID)
+		}
+		if gotExec.String() != want.String() {
+			t.Errorf("execution %q = %q, want %q", want.ID, gotExec.String(), want.String())
+		}
+	}
+	if !byID["x1"].Steps[1].Output.Equal(Output{7, 0, 3}) {
+		t.Errorf("output vector lost: %v", byID["x1"].Steps[1].Output)
+	}
+}
+
+func TestXESDocumentShape(t *testing.T) {
+	l := LogFromStrings("AB")
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<?xml`,
+		`<log xes.version="1.0">`,
+		`<string key="concept:name" value="x1">`,
+		`<string key="lifecycle:transition" value="start">`,
+		`<string key="lifecycle:transition" value="complete">`,
+		`<date key="time:timestamp"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XES output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadXESAtomicEvents(t *testing.T) {
+	// Events without lifecycle:transition are atomic: a start is
+	// synthesized just before the complete.
+	in := `<?xml version="1.0"?>
+<log xes.version="1.0">
+  <trace>
+    <string key="concept:name" value="t1"/>
+    <event>
+      <string key="concept:name" value="A"/>
+      <date key="time:timestamp" value="1998-01-22T00:00:00Z"/>
+    </event>
+    <event>
+      <string key="concept:name" value="B"/>
+      <date key="time:timestamp" value="1998-01-22T00:00:01Z"/>
+      <int key="out:0" value="4"/>
+    </event>
+  </trace>
+</log>`
+	l, err := ReadXES(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("got %d executions, want 1", l.Len())
+	}
+	e := l.Executions[0]
+	if e.ID != "t1" || e.String() != "AB" {
+		t.Fatalf("execution = %q/%q, want t1/AB", e.ID, e.String())
+	}
+	if !e.Steps[0].Before(e.Steps[1]) {
+		t.Error("atomic events should not overlap")
+	}
+	if !e.Steps[1].Output.Equal(Output{4}) {
+		t.Errorf("output = %v, want [4]", e.Steps[1].Output)
+	}
+}
+
+func TestReadXESDefaultsAndSkips(t *testing.T) {
+	// Missing trace name -> synthetic ID; unknown lifecycle transitions are
+	// skipped without error.
+	in := `<log xes.version="1.0">
+  <trace>
+    <event>
+      <string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="schedule"/>
+      <date key="time:timestamp" value="1998-01-22T00:00:00Z"/>
+    </event>
+    <event>
+      <string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="start"/>
+      <date key="time:timestamp" value="1998-01-22T00:00:01Z"/>
+    </event>
+    <event>
+      <string key="concept:name" value="A"/>
+      <string key="lifecycle:transition" value="complete"/>
+      <date key="time:timestamp" value="1998-01-22T00:00:02Z"/>
+    </event>
+  </trace>
+</log>`
+	l, err := ReadXES(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadXES: %v", err)
+	}
+	if l.Executions[0].ID != "trace1" {
+		t.Errorf("ID = %q, want trace1", l.Executions[0].ID)
+	}
+	if len(l.Executions[0].Steps) != 1 {
+		t.Fatalf("got %d steps, want 1 (schedule skipped)", len(l.Executions[0].Steps))
+	}
+}
+
+func TestReadXESErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all`,
+		// missing concept:name on event
+		`<log><trace><event><date key="time:timestamp" value="1998-01-22T00:00:00Z"/></event></trace></log>`,
+		// missing timestamp
+		`<log><trace><event><string key="concept:name" value="A"/></event></trace></log>`,
+		// malformed timestamp
+		`<log><trace><event><string key="concept:name" value="A"/><date key="time:timestamp" value="yesterday"/></event></trace></log>`,
+		// malformed output value
+		`<log><trace><event><string key="concept:name" value="A"/><date key="time:timestamp" value="1998-01-22T00:00:00Z"/><int key="out:0" value="x"/></event></trace></log>`,
+		// malformed output key
+		`<log><trace><event><string key="concept:name" value="A"/><date key="time:timestamp" value="1998-01-22T00:00:00Z"/><int key="out:z" value="1"/></event></trace></log>`,
+	}
+	for i, in := range cases {
+		if _, err := ReadXES(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: invalid XES accepted", i)
+		}
+	}
+}
+
+func TestXESSparseOutputVector(t *testing.T) {
+	// out:2 present without out:0/out:1 -> vector padded with zeros.
+	in := `<log><trace>
+  <string key="concept:name" value="t"/>
+  <event>
+    <string key="concept:name" value="A"/>
+    <string key="lifecycle:transition" value="start"/>
+    <date key="time:timestamp" value="1998-01-22T00:00:00Z"/>
+  </event>
+  <event>
+    <string key="concept:name" value="A"/>
+    <string key="lifecycle:transition" value="complete"/>
+    <date key="time:timestamp" value="1998-01-22T00:00:01Z"/>
+    <int key="out:2" value="9"/>
+  </event>
+</trace></log>`
+	l, err := ReadXES(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Executions[0].Steps[0].Output; !got.Equal(Output{0, 0, 9}) {
+		t.Fatalf("output = %v, want [0 0 9]", got)
+	}
+}
+
+func TestXESPreservesOverlap(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	exec := Execution{ID: "p", Steps: []Step{
+		{Activity: "A", Start: t0, End: t0.Add(10 * time.Second)},
+		{Activity: "B", Start: t0.Add(5 * time.Second), End: t0.Add(15 * time.Second)},
+	}}
+	l := &Log{Executions: []Execution{exec}}
+	var buf bytes.Buffer
+	if err := WriteXES(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXES(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := got.Executions[0].Steps
+	if len(steps) != 2 || !steps[0].Overlaps(steps[1]) {
+		t.Fatalf("overlap lost through XES round trip: %+v", steps)
+	}
+}

@@ -1,0 +1,237 @@
+package procmine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func edgeList(g *Graph) []string {
+	var out []string
+	for _, e := range g.Edges() {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+func TestMineAutoSelectsDAG(t *testing.T) {
+	l := LogFromStrings("ABCF", "ACDF", "ADEF", "AECF")
+	g, err := Mine(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A->B", "A->C", "A->D", "A->E", "B->C", "C->F", "D->F", "E->F"}
+	if got := edgeList(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+}
+
+func TestMineAutoSelectsCyclic(t *testing.T) {
+	l := LogFromStrings("ABDCE", "ABDCBCE", "ABCBDCE", "ADE")
+	g, err := Mine(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("B", "C") || !g.HasEdge("C", "B") {
+		t.Fatalf("cyclic log should yield the B<->C cycle; edges = %v", edgeList(g))
+	}
+}
+
+func TestMineExact(t *testing.T) {
+	l := LogFromStrings("ABCDE", "ACDBE", "ACBDE")
+	g, err := MineExact(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A->B", "A->C", "B->E", "C->D", "D->E"}
+	if got := edgeList(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	if _, err := MineExact(LogFromStrings("AB", "ABC"), Options{}); err == nil {
+		t.Fatal("MineExact accepted a partial-execution log")
+	}
+}
+
+func TestCheckAndConsistent(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDBE", "ACDE")
+	g, err := MineDAG(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(g, l, "A", "E", Options{})
+	if !rep.Conformal() {
+		t.Fatalf("mined graph not conformal: %s", rep.Summary())
+	}
+	for _, e := range l.Executions {
+		if err := Consistent(g, "A", "E", e); err != nil {
+			t.Fatalf("execution %s: %v", e, err)
+		}
+	}
+}
+
+func TestNoiseThreshold(t *testing.T) {
+	T, err := NoiseThreshold(100, 0.05)
+	if err != nil || T != 19 {
+		t.Fatalf("NoiseThreshold(100, 0.05) = %d, %v; want 19, nil", T, err)
+	}
+	if _, err := NoiseThreshold(10, 0.9); err == nil {
+		t.Fatal("epsilon >= 0.5 accepted")
+	}
+}
+
+func TestLogRoundTripAllFormats(t *testing.T) {
+	l := LogFromStrings("ABCE", "ACDE")
+	for _, format := range []LogFormat{FormatText, FormatCSV, FormatJSON, FormatXES} {
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, l, format); err != nil {
+			t.Fatalf("format %d: write: %v", format, err)
+		}
+		got, err := ReadLog(&buf, format)
+		if err != nil {
+			t.Fatalf("format %d: read: %v", format, err)
+		}
+		if got.Len() != l.Len() {
+			t.Fatalf("format %d: %d executions, want %d", format, got.Len(), l.Len())
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, l, LogFormat(99)); err == nil {
+		t.Fatal("unknown format accepted by WriteLog")
+	}
+	if _, err := ReadLog(&buf, LogFormat(99)); err == nil {
+		t.Fatal("unknown format accepted by ReadLog")
+	}
+}
+
+func TestLogFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := LogFromStrings("ABC", "ACB")
+	for _, name := range []string{"log.txt", "log.csv", "log.json", "log.xes"} {
+		path := filepath.Join(dir, name)
+		if err := WriteLogFile(path, l); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadLogFile(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.Len() != 2 {
+			t.Fatalf("%s: %d executions, want 2", name, got.Len())
+		}
+	}
+	if _, err := ReadLogFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("reading missing file succeeded")
+	}
+	if err := WriteLogFile(filepath.Join(dir, "no", "such", "dir.txt"), l); err == nil {
+		t.Fatal("writing to missing directory succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "log.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]LogFormat{
+		"a.txt":      FormatText,
+		"a.log":      FormatText,
+		"a":          FormatText,
+		"a.csv":      FormatCSV,
+		"A.CSV":      FormatCSV,
+		"b.json":     FormatJSON,
+		"c.xes":      FormatXES,
+		"C.XES":      FormatXES,
+		"dir/x.jsON": FormatJSON,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %d, want %d", path, got, want)
+		}
+	}
+}
+
+func TestSimulateAndMineEndToEnd(t *testing.T) {
+	p, err := FlowmarkProcess("Pend_Block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := SimulateLog(p, 150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Mine(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Compare(p.Graph, g); !d.Equal() {
+		t.Fatalf("Pend_Block not recovered: missing %v extra %v", d.MissingEdges, d.ExtraEdges)
+	}
+	// Learn the conditions back and sanity-check the optional branches.
+	learned := LearnConditions(l, g, TreeConfig{MinLeaf: 5})
+	pend := learned[Edge{From: "Triage", To: "Pend"}]
+	if pend.Examples == 0 || pend.TrainAccuracy < 0.95 {
+		t.Fatalf("Triage->Pend learned poorly: %+v", pend)
+	}
+}
+
+func TestConditionAlgebraReexports(t *testing.T) {
+	c := And{Threshold{Index: 0, Op: GE, Value: 5}, Not{C: Threshold{Index: 1, Op: LT, Value: 2}}}
+	if !c.Eval(Output{7, 3}) {
+		t.Fatal("condition algebra misevaluates")
+	}
+	if c.Eval(Output{7, 1}) {
+		t.Fatal("Not branch misevaluates")
+	}
+	var _ Condition = True{}
+	var _ Condition = Or{}
+}
+
+func TestGzipLogFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := LogFromStrings("ABCE", "ACDE", "ABCE")
+	for _, name := range []string{"log.csv.gz", "log.txt.gz", "log.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteLogFile(path, l); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadLogFile(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.Len() != 3 {
+			t.Fatalf("%s: %d executions, want 3", name, got.Len())
+		}
+	}
+	// The gz file must actually be gzip (starts with the magic bytes).
+	raw, err := os.ReadFile(filepath.Join(dir, "log.csv.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("gz file is not gzip-compressed")
+	}
+	// Reading a non-gzip file with .gz extension errors cleanly.
+	bad := filepath.Join(dir, "fake.txt.gz")
+	if err := os.WriteFile(bad, []byte("p A START 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLogFile(bad); err == nil {
+		t.Fatal("non-gzip .gz file accepted")
+	}
+}
+
+func TestFormatForPathGz(t *testing.T) {
+	cases := map[string]LogFormat{
+		"a.csv.gz":  FormatCSV,
+		"a.json.GZ": FormatJSON,
+		"a.xes.gz":  FormatXES,
+		"a.txt.gz":  FormatText,
+		"a.gz":      FormatText,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %d, want %d", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package procmine
+
+import (
+	"math/rand"
+
+	"procmine/internal/flowmark"
+	"procmine/internal/model"
+	"procmine/internal/noise"
+	"procmine/internal/synth"
+)
+
+// This file re-exports the simulation substrates so the examples and
+// downstream users can generate workloads through the public API: the
+// Flowmark-style engine for processes with conditions, the Section 8.1
+// random-DAG simulator, and the Section 6 log corruptor.
+
+type (
+	// Engine executes process instances in virtual time with a pool of
+	// simulated agents, logging Flowmark-style executions.
+	Engine = flowmark.Engine
+	// Simulator is the Section 8.1 list-based random execution generator
+	// for plain DAGs (no conditions).
+	Simulator = synth.Simulator
+	// Corruptor injects Section 6 noise into logs.
+	Corruptor = noise.Corruptor
+	// OutputFunc produces an activity's output vector.
+	OutputFunc = model.OutputFunc
+	// Threshold is a single-comparison condition o[i] OP value.
+	Threshold = model.Threshold
+	// And, Or, Not combine conditions; True is the unconditional edge.
+	And = model.And
+	// Or is the disjunction of conditions.
+	Or = model.Or
+	// Not negates a condition.
+	Not = model.Not
+	// True is the always-true condition.
+	True = model.True
+	// CmpOp is a comparison operator for Threshold conditions.
+	CmpOp = model.CmpOp
+)
+
+// Comparison operators for Threshold conditions.
+const (
+	LT = model.LT
+	LE = model.LE
+	GT = model.GT
+	GE = model.GE
+	EQ = model.EQ
+	NE = model.NE
+)
+
+// Simulation constructors.
+var (
+	// NewEngine validates a process and returns an execution engine.
+	NewEngine = flowmark.NewEngine
+	// NewSimulator prepares the Section 8.1 simulator for a DAG with
+	// START/END endpoints (synth.StartActivity / synth.EndActivity).
+	NewSimulator = synth.NewSimulator
+	// RandomDAG generates a random single-source/single-sink DAG.
+	RandomDAG = synth.RandomDAG
+	// NewCorruptor returns a Section 6 log corruptor.
+	NewCorruptor = noise.NewCorruptor
+	// ConstOutput and UniformOutput build activity output functions.
+	ConstOutput = model.ConstOutput
+	// UniformOutput yields k independent uniform integers in [0, max).
+	UniformOutput = model.UniformOutput
+	// Graph10 is the Figure 7 example process graph (A..J).
+	Graph10 = synth.Graph10
+	// FlowmarkProcess returns one of the five Table 3 replica processes
+	// by name (Upload_and_Notify, StressSleep, Pend_Block, Local_Swap,
+	// UWI_Pilot).
+	FlowmarkProcess = flowmark.Get
+)
+
+// SimulateLog is a convenience wrapper: it runs m instances of the process
+// on a fresh engine seeded with seed and returns the resulting log.
+func SimulateLog(p *Process, m int, seed int64) (*Log, error) {
+	eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return eng.GenerateLog(p.Name+"_", m, 0)
+}
