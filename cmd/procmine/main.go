@@ -6,15 +6,21 @@
 //
 //	procmine [-algorithm auto|special|dag|cyclic|alpha]
 //	         [-threshold T | -epsilon E] [-output text|layers|dot|bpmn]
+//	         [-lenient | -quarantine] [-timeout D]
 //	         [-conditions] [-check] [-support] [-verbose]
 //	         [-compare REF.adj] [-stats] [-name NAME] LOGFILE
 //
 // The log format is inferred from the file extension (.csv, .json, .xes, a
 // trailing .gz for gzip, or the space-separated text format otherwise);
 // "-" reads text-format events from stdin.
+//
+// Exit status: 0 on success, 2 when the input log is invalid or unreadable,
+// 1 when mining (or a downstream stage) fails.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +33,20 @@ import (
 	"procmine/internal/graph"
 )
 
+// inputError marks failures caused by the input log (unreadable, malformed,
+// fails validation) rather than by mining; main maps it to exit status 2.
+type inputError struct{ err error }
+
+func (e inputError) Error() string { return e.err.Error() }
+func (e inputError) Unwrap() error { return e.err }
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "procmine:", err)
+		var ie inputError
+		if errors.As(err, &ie) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -48,6 +65,9 @@ func run(args []string) error {
 		stats      = fs.Bool("stats", false, "print log statistics and trace variants instead of mining")
 		verbose    = fs.Bool("verbose", false, "print the mining pipeline funnel (edges admitted/removed per stage)")
 		support    = fs.Bool("support", false, "annotate each mined edge with its log support and confidence")
+		lenient    = fs.Bool("lenient", false, "skip malformed records and unterminated steps instead of aborting")
+		quarantine = fs.Bool("quarantine", false, "set aside whole executions touched by malformed records instead of aborting")
+		timeout    = fs.Duration("timeout", 0, "abort mining after this duration (e.g. 30s); 0 = no limit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,19 +76,35 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("need exactly one log file argument, got %d", fs.NArg())
 	}
+	if *lenient && *quarantine {
+		return fmt.Errorf("-lenient and -quarantine are mutually exclusive")
+	}
+	ingest := procmine.IngestOptions{}
+	if *lenient {
+		ingest.Policy = procmine.Skip
+	}
+	if *quarantine {
+		ingest.Policy = procmine.Quarantine
+	}
 	path := fs.Arg(0)
 	var log *procmine.Log
+	var rep *procmine.IngestReport
 	var err error
 	if path == "-" {
-		log, err = procmine.ReadLog(os.Stdin, procmine.FormatText)
+		log, rep, err = procmine.ReadLogWith(os.Stdin, procmine.FormatText, ingest)
 	} else {
-		log, err = procmine.ReadLogFile(path)
+		log, rep, err = procmine.ReadLogFileWith(path, ingest)
 	}
 	if err != nil {
-		return fmt.Errorf("reading %s: %w", path, err)
+		return inputError{fmt.Errorf("reading %s: %w", path, err)}
+	}
+	if *verbose && rep != nil && !rep.Clean() {
+		if err := rep.WriteReport(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if err := log.Validate(); err != nil {
-		return fmt.Errorf("invalid log: %w", err)
+		return inputError{fmt.Errorf("invalid log: %w", err)}
 	}
 
 	if *stats {
@@ -86,6 +122,13 @@ func run(args []string) error {
 		return nil
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := procmine.Options{MinSupport: *threshold, AdaptiveEpsilon: *epsilon}
 	var g *procmine.Graph
 	switch *algorithm {
@@ -99,14 +142,14 @@ func run(args []string) error {
 				}
 			}
 		} else {
-			g, err = procmine.Mine(log, opt)
+			g, err = procmine.MineContext(ctx, log, opt)
 		}
 	case "special":
-		g, err = procmine.MineExact(log, opt)
+		g, err = core.MineSpecialDAGContext(ctx, log, opt)
 	case "dag":
-		g, err = procmine.MineDAG(log, opt)
+		g, err = core.MineGeneralDAGContext(ctx, log, opt)
 	case "cyclic":
-		g, err = procmine.MineCyclic(log, opt)
+		g, err = core.MineCyclicContext(ctx, log, opt)
 	case "alpha":
 		net := alpha.Mine(log)
 		if err := net.WriteReport(os.Stderr); err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -152,5 +154,92 @@ func TestRunVerbose(t *testing.T) {
 	path := writeExampleLog(t, dir, "log.txt")
 	if err := run([]string{"-verbose", path}); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// writeCorruptLog writes a trail with one garbage line and one END without
+// a START (damaging execution p2 only).
+func writeCorruptLog(t *testing.T, dir, name string) string {
+	t.Helper()
+	trail := `p1 A START 1
+p1 A END 2
+p1 B START 3
+p1 B END 4
+%%% garbage %%%
+p2 A START 1
+p2 A END 2
+p2 C END 9
+p2 B START 3
+p2 B END 4
+p3 A START 1
+p3 A END 2
+p3 B START 3
+p3 B END 4
+`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(trail), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRecoveryFlags(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCorruptLog(t, dir, "corrupt.txt")
+
+	// Default FailFast refuses the trail and classifies it as an input
+	// error (exit status 2 in main).
+	err := run([]string{path})
+	if err == nil {
+		t.Fatal("FailFast accepted corrupt trail")
+	}
+	var ie inputError
+	if !errors.As(err, &ie) {
+		t.Errorf("corrupt input error %v is not an inputError (would exit 1, want 2)", err)
+	}
+
+	// Lenient and quarantine both mine successfully.
+	if err := run([]string{"-lenient", path}); err != nil {
+		t.Errorf("-lenient: %v", err)
+	}
+	if err := run([]string{"-quarantine", "-verbose", path}); err != nil {
+		t.Errorf("-quarantine -verbose: %v", err)
+	}
+
+	// The two policies are mutually exclusive.
+	if err := run([]string{"-lenient", "-quarantine", path}); err == nil {
+		t.Error("-lenient -quarantine accepted together")
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExampleLog(t, dir, "log.txt")
+	// A generous timeout passes...
+	if err := run([]string{"-timeout", "30s", path}); err != nil {
+		t.Fatalf("-timeout 30s: %v", err)
+	}
+	// ...and an expired one aborts mining with a non-input error (exit 1).
+	err := run([]string{"-timeout", "1ns", "-algorithm", "dag", path})
+	if err == nil {
+		t.Fatal("-timeout 1ns mined anyway")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var ie inputError
+	if errors.As(err, &ie) {
+		t.Error("timeout classified as input error (would exit 2, want 1)")
+	}
+}
+
+func TestRunMissingFileIsInputError(t *testing.T) {
+	err := run([]string{"/does/not/exist.txt"})
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	var ie inputError
+	if !errors.As(err, &ie) {
+		t.Errorf("missing file error %v is not an inputError", err)
 	}
 }

@@ -45,6 +45,17 @@ type Options struct {
 	// robustness experiment). The adaptive rule is this package's
 	// extension for that case. When set, MinSupport is ignored.
 	AdaptiveEpsilon float64
+
+	// MaxActivities caps the activity alphabet (the paper's n, or kn for
+	// the labeled log of Algorithm 3). Mining a log with more activities
+	// fails with ErrTooManyActivities instead of allocating the O(n²)
+	// accumulators. 0 = unlimited.
+	MaxActivities int
+
+	// MaxInstanceLabels caps Algorithm 3's k: the number of times a single
+	// activity may repeat within one execution before instance labeling.
+	// Exceeding it fails with ErrTooManyInstances. 0 = unlimited.
+	MaxInstanceLabels int
 }
 
 // ErrNotSpecialForm is returned by MineSpecialDAG when the log violates the

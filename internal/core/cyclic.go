@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -72,13 +73,5 @@ func MergeInstances(labeled *graph.Digraph) *graph.Digraph {
 // For logs without repeated activities the result coincides with
 // MineGeneralDAG (every activity gets the single label "A#1").
 func MineCyclic(l *wlog.Log, opt Options) (*graph.Digraph, error) {
-	labeled, err := LabelInstances(l)
-	if err != nil {
-		return nil, err
-	}
-	mined, err := MineGeneralDAG(labeled, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: mining labeled log: %w", err)
-	}
-	return MergeInstances(mined), nil
+	return MineCyclicContext(context.Background(), l, opt)
 }

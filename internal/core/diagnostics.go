@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -101,7 +102,7 @@ func MineWithDiagnostics(l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics
 	afterStep4 := g.NumEdges()
 	_ = afterSteps13
 
-	marked, err := markRequiredEdges(g, work)
+	marked, err := markRequiredEdges(context.Background(), g, work)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,216 @@
+package noise_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/graph"
+	"procmine/internal/noise"
+	"procmine/internal/wlog"
+)
+
+// Chaos test: pipe structurally corrupted logs through every ingestion
+// policy and assert (a) nothing panics, (b) the IngestReport counts match
+// the injected fault counts exactly, and (c) mining the surviving log under
+// Skip and Quarantine — with the Section 6 noise threshold — recovers the
+// model mined from the clean seed log.
+
+// chaosSeedLog returns m executions drawn round-robin from the Example 7
+// variants.
+func chaosSeedLog(m int) *wlog.Log {
+	variants := []string{"ABCF", "ACDF", "ADEF", "AECF"}
+	seqs := make([]string, m)
+	for i := range seqs {
+		seqs[i] = variants[i%len(variants)]
+	}
+	return wlog.LogFromStrings(seqs...)
+}
+
+// corruptTrail injects ~10% structural damage into the serialized trail:
+// dropped ENDs and duplicated events at the event level, then garbage lines
+// at the codec level. It returns the corrupted text and the combined fault
+// counts.
+func corruptTrail(t *testing.T, l *wlog.Log, seed int64) (string, *noise.StructuralFaults) {
+	t.Helper()
+	c := noise.NewCorruptor(rand.New(rand.NewSource(seed)))
+	events := l.Events()
+	dropped, fDrop := c.DropEnds(events, 0.04)
+	duped, fDup := c.DuplicateEvents(dropped, 0.03)
+	var b strings.Builder
+	if err := wlog.WriteText(&b, duped); err != nil {
+		t.Fatal(err)
+	}
+	text, fGarbage := c.InjectGarbage(b.String(), 0.04)
+
+	total := &noise.StructuralFaults{
+		DroppedEnds:      fDrop.DroppedEnds,
+		DuplicatedStarts: fDup.DuplicatedStarts,
+		DuplicatedEnds:   fDup.DuplicatedEnds,
+		GarbageLines:     fGarbage.GarbageLines,
+	}
+	touched := map[string]bool{}
+	for _, id := range fDrop.Touched {
+		touched[id] = true
+	}
+	for _, id := range fDup.Touched {
+		touched[id] = true
+	}
+	for id := range touched {
+		total.Touched = append(total.Touched, id)
+	}
+	return text, total
+}
+
+// ingest pipes the corrupted text through the lenient decode + stream
+// assembly pipeline under the given policy.
+func ingest(t *testing.T, text string, policy wlog.Policy) (*wlog.Log, *wlog.IngestReport) {
+	t.Helper()
+	opts := wlog.IngestOptions{Policy: policy}
+	rep := wlog.NewIngestReport(opts)
+	var log wlog.Log
+	s := wlog.NewExecutionStreamWith(opts, rep, func(e wlog.Execution) error {
+		log.Executions = append(log.Executions, e)
+		return nil
+	})
+	if _, err := wlog.StreamTextWith(strings.NewReader(text), opts, rep, s.Push); err != nil {
+		t.Fatalf("StreamTextWith(%v): %v", policy, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close(%v): %v", policy, err)
+	}
+	return &log, rep
+}
+
+func TestChaosStructuralCorruption(t *testing.T) {
+	const m = 100
+	seedLog := chaosSeedLog(m)
+
+	// Section 6: T = m·ln2 / ln(2/ε) for ε = 0.02 discards pairwise orders
+	// with almost no support while keeping every 25%-frequency variant above
+	// water. T scales with the execution count, so it is recomputed for each
+	// (possibly quarantine-shrunk) log.
+	mineOpt := func(l *wlog.Log) core.Options {
+		T, err := noise.ThresholdFor(len(l.Executions), 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Options{MinSupport: T}
+	}
+
+	want, err := core.MineGeneralDAG(seedLog, mineOpt(seedLog))
+	if err != nil {
+		t.Fatalf("mining seed log: %v", err)
+	}
+
+	text, faults := corruptTrail(t, seedLog, 42)
+	structural := faults.DroppedEnds + faults.DuplicatedStarts + faults.DuplicatedEnds
+	if structural == 0 || faults.GarbageLines == 0 {
+		t.Fatalf("corruption injected nothing: %v", faults)
+	}
+	t.Logf("%v", faults)
+
+	// FailFast must refuse the trail (first garbage line kills it).
+	if _, err := wlog.ReadText(strings.NewReader(text)); err == nil {
+		t.Fatal("FailFast accepted a corrupted trail")
+	}
+
+	for _, policy := range []wlog.Policy{wlog.Skip, wlog.Quarantine} {
+		t.Run(policy.String(), func(t *testing.T) {
+			log, rep := ingest(t, text, policy)
+
+			// (b) counts match the injection exactly. Garbage lines are
+			// codec-level, so the syntax count is exact under every policy.
+			if got := rep.Errors[wlog.ClassSyntax]; got != faults.GarbageLines {
+				t.Errorf("syntax errors = %d, want %d (garbage lines)", got, faults.GarbageLines)
+			}
+			switch policy {
+			case wlog.Skip:
+				// Skip surfaces every structural fault individually: FIFO
+				// START/END pairing turns each dropped END and duplicated
+				// event into exactly one structure error.
+				if got := rep.Errors[wlog.ClassStructure]; got != structural {
+					t.Errorf("structure errors = %d, want %d (dropped ENDs + duplicates)", got, structural)
+				}
+				if len(log.Executions) != m {
+					// Skip keeps every execution (possibly partial).
+					t.Errorf("surviving executions = %d, want %d", len(log.Executions), m)
+				}
+			case wlog.Quarantine:
+				// The first fault quarantines an execution and later faults
+				// in it are swallowed as skipped stragglers, so exactness
+				// lives in the quarantine count: one quarantined execution
+				// per distinct execution the injector touched.
+				if rep.ExecutionsQuarantined != len(faults.Touched) {
+					t.Errorf("quarantined %d executions (%v), want %d (%v)",
+						rep.ExecutionsQuarantined, rep.QuarantinedIDs, len(faults.Touched), faults.Touched)
+				}
+				if m-len(log.Executions) != len(faults.Touched) {
+					t.Errorf("surviving executions = %d, want %d", len(log.Executions), m-len(faults.Touched))
+				}
+				if got := rep.Errors[wlog.ClassStructure]; got < len(faults.Touched) || got > structural {
+					t.Errorf("structure errors = %d, want within [%d, %d]", got, len(faults.Touched), structural)
+				}
+			}
+			if err := log.Validate(); err != nil {
+				t.Fatalf("surviving log invalid: %v", err)
+			}
+
+			// (c) the seed model is recovered.
+			got, err := core.MineGeneralDAG(log, mineOpt(log))
+			if err != nil {
+				t.Fatalf("mining survived log: %v", err)
+			}
+			d := graph.Compare(want, got)
+			switch policy {
+			case wlog.Quarantine:
+				// Only whole, intact executions survive, so the mined model
+				// is exactly the seed model.
+				if !d.Equal() {
+					t.Errorf("mined graph differs from seed model: missing %v, extra %v",
+						d.MissingEdges, d.ExtraEdges)
+				}
+			case wlog.Skip:
+				// Partial executions cannot lose seed edges, but their
+				// smaller activity sets may mark shortcut edges the full
+				// executions reduce away (Algorithm 2 step 5 marks per
+				// execution). Recall must be perfect and any extra edge
+				// must be a transitive edge of the seed model.
+				if len(d.MissingEdges) > 0 {
+					t.Errorf("seed edges lost under Skip: %v", d.MissingEdges)
+				}
+				for _, e := range d.ExtraEdges {
+					if !want.Reachable(e.From, e.To) {
+						t.Errorf("extra edge %v is not a transitive edge of the seed model", e)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosTruncatedTrail covers the crashed-collector case: the tail of
+// the trail is cut, orphaning in-flight executions; lenient ingestion must
+// absorb exactly the predicted orphan count and still mine.
+func TestChaosTruncatedTrail(t *testing.T) {
+	seedLog := chaosSeedLog(100)
+	c := noise.NewCorruptor(rand.New(rand.NewSource(9)))
+	events, f := c.TruncateTrail(seedLog.Events(), 0.1)
+	if f.TruncatedEvents == 0 {
+		t.Fatal("nothing truncated")
+	}
+	var b strings.Builder
+	if err := wlog.WriteText(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []wlog.Policy{wlog.Skip, wlog.Quarantine} {
+		log, rep := ingest(t, b.String(), policy)
+		if got := rep.Errors[wlog.ClassStructure]; got != f.OrphanedStarts {
+			t.Errorf("%v: structure errors = %d, want %d orphaned STARTs", policy, got, f.OrphanedStarts)
+		}
+		if _, err := core.MineGeneralDAG(log, core.Options{}); err != nil {
+			t.Errorf("%v: mining truncated log: %v", policy, err)
+		}
+	}
+}

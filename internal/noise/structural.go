@@ -1,0 +1,184 @@
+package noise
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"procmine/internal/wlog"
+)
+
+// Structural fault injection. The Section 6 Corruptor models *semantic*
+// noise — activities mis-ordered, inserted or lost while the log stays
+// well-formed. Real audit trails also break *structurally*: END records
+// vanish, records are written twice, trails are truncated mid-flight, and
+// unrelated garbage lands between records. These methods inject exactly
+// such damage into raw event streams (and serialized text logs), reporting
+// precise fault counts so chaos tests can assert that ingestion reports
+// match injection reports one for one.
+
+// StructuralFaults counts the faults one injection call introduced, so a
+// chaos test can compare them against an IngestReport exactly.
+type StructuralFaults struct {
+	// DroppedEnds counts deleted END events; each orphans one START.
+	DroppedEnds int
+	// DuplicatedStarts and DuplicatedEnds count re-emitted records. A
+	// duplicated START leaves one unmatched START; a duplicated END is an
+	// END-without-START at assembly.
+	DuplicatedStarts int
+	DuplicatedEnds   int
+	// TruncatedEvents counts events cut off the tail of the trail, and
+	// OrphanedStarts how many surviving STARTs lost their END to the cut
+	// (the structural errors a lenient assembler will report).
+	TruncatedEvents int
+	OrphanedStarts  int
+	// GarbageLines counts unparseable lines spliced into a text log.
+	GarbageLines int
+	// Touched lists the distinct execution IDs damaged, sorted.
+	Touched []string
+
+	touched map[string]bool
+}
+
+// Total returns the total number of injected faults.
+func (f *StructuralFaults) Total() int {
+	return f.DroppedEnds + f.DuplicatedStarts + f.DuplicatedEnds + f.TruncatedEvents + f.GarbageLines
+}
+
+// touch records a damaged execution ID.
+func (f *StructuralFaults) touch(id string) {
+	if f.touched == nil {
+		f.touched = map[string]bool{}
+	}
+	if f.touched[id] {
+		return
+	}
+	f.touched[id] = true
+	f.Touched = append(f.Touched, id)
+	sort.Strings(f.Touched)
+}
+
+// cloneEvents deep-copies an event slice.
+func cloneEvents(events []wlog.Event) []wlog.Event {
+	out := make([]wlog.Event, len(events))
+	copy(out, events)
+	for i := range out {
+		out[i].Output = out[i].Output.Clone()
+	}
+	return out
+}
+
+// DropEnds deletes each END event with probability rate, modeling activity
+// terminations the audit trail never recorded. Every dropped END leaves
+// exactly one unmatched START behind (FIFO pairing), so a lenient assembler
+// reports one structural error per dropped END.
+func (c *Corruptor) DropEnds(events []wlog.Event, rate float64) ([]wlog.Event, *StructuralFaults) {
+	f := &StructuralFaults{}
+	out := make([]wlog.Event, 0, len(events))
+	for _, ev := range cloneEvents(events) {
+		if ev.Type == wlog.End && c.rng.Float64() < rate {
+			f.DroppedEnds++
+			f.touch(ev.ProcessID)
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out, f
+}
+
+// DuplicateEvents re-emits each event immediately after itself with
+// probability rate, modeling at-least-once trail delivery. Each duplicated
+// START yields one unmatched START and each duplicated END one
+// END-without-START, so a lenient assembler reports one structural error
+// per duplicate.
+func (c *Corruptor) DuplicateEvents(events []wlog.Event, rate float64) ([]wlog.Event, *StructuralFaults) {
+	f := &StructuralFaults{}
+	out := make([]wlog.Event, 0, len(events))
+	for _, ev := range cloneEvents(events) {
+		out = append(out, ev)
+		if c.rng.Float64() < rate {
+			dup := ev
+			dup.Output = ev.Output.Clone()
+			out = append(out, dup)
+			if ev.Type == wlog.Start {
+				f.DuplicatedStarts++
+			} else {
+				f.DuplicatedEnds++
+			}
+			f.touch(ev.ProcessID)
+		}
+	}
+	return out, f
+}
+
+// TruncateTrail cuts the final frac of the trail (by event count), modeling
+// a log interrupted mid-flight — the crashed-collector case. OrphanedStarts
+// counts surviving STARTs whose END fell past the cut; executions whose
+// events were cut entirely are not Touched (nothing of them remains to
+// damage).
+func (c *Corruptor) TruncateTrail(events []wlog.Event, frac float64) ([]wlog.Event, *StructuralFaults) {
+	f := &StructuralFaults{}
+	if frac <= 0 {
+		return cloneEvents(events), f
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	keep := len(events) - int(float64(len(events))*frac)
+	out := cloneEvents(events)[:keep]
+	f.TruncatedEvents = len(events) - keep
+	// Count surviving STARTs orphaned by the cut, per execution, FIFO.
+	type key struct{ pid, act string }
+	open := map[key]int{}
+	for _, ev := range out {
+		k := key{ev.ProcessID, ev.Activity}
+		if ev.Type == wlog.Start {
+			open[k]++
+		} else if open[k] > 0 {
+			open[k]--
+		}
+	}
+	for k, n := range open {
+		if n > 0 {
+			f.OrphanedStarts += n
+			f.touch(k.pid)
+		}
+	}
+	return out, f
+}
+
+// InjectGarbage splices unparseable lines into a serialized text-codec log:
+// after each input line, with probability rate, one garbage line is
+// inserted. The lines are guaranteed to fail the text codec (too few
+// fields, bad event type, or binary junk), so a lenient text decoder
+// reports exactly GarbageLines syntax errors.
+func (c *Corruptor) InjectGarbage(text string, rate float64) (string, *StructuralFaults) {
+	f := &StructuralFaults{}
+	garbage := []string{
+		"corrupted",
+		"%%%% @@@@ \x00\x01\x02 ????",
+		"p17 Upload MAYBE 12345",
+		"p17 Upload START notatime",
+		"severity=PANIC msg=\"disk full\"",
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		b.WriteString(line)
+		b.WriteByte('\n')
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if c.rng.Float64() < rate {
+			b.WriteString(garbage[c.rng.Intn(len(garbage))])
+			b.WriteByte('\n')
+			f.GarbageLines++
+		}
+	}
+	return b.String(), f
+}
+
+// String summarizes the injected faults.
+func (f *StructuralFaults) String() string {
+	return fmt.Sprintf("structural faults: %d dropped ENDs, %d+%d duplicated START/END, %d truncated (%d orphaned STARTs), %d garbage lines, %d executions touched",
+		f.DroppedEnds, f.DuplicatedStarts, f.DuplicatedEnds, f.TruncatedEvents, f.OrphanedStarts, f.GarbageLines, len(f.Touched))
+}

@@ -1,0 +1,114 @@
+package noise
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"procmine/internal/wlog"
+)
+
+// seedEvents builds a well-formed event stream of m executions of ABCE.
+func seedEvents(m int) []wlog.Event {
+	var seqs []string
+	for i := 0; i < m; i++ {
+		seqs = append(seqs, "ABCE")
+	}
+	return wlog.LogFromStrings(seqs...).Events()
+}
+
+func countType(events []wlog.Event, typ wlog.EventType) int {
+	n := 0
+	for _, e := range events {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDropEnds(t *testing.T) {
+	events := seedEvents(50)
+	c := NewCorruptor(rand.New(rand.NewSource(7)))
+	out, f := c.DropEnds(events, 0.2)
+	if f.DroppedEnds == 0 {
+		t.Fatal("no ENDs dropped at rate 0.2")
+	}
+	if got, want := countType(out, wlog.End), countType(events, wlog.End)-f.DroppedEnds; got != want {
+		t.Errorf("ENDs after drop = %d, want %d", got, want)
+	}
+	if countType(out, wlog.Start) != countType(events, wlog.Start) {
+		t.Error("DropEnds touched START events")
+	}
+	if len(f.Touched) == 0 {
+		t.Error("no touched executions recorded")
+	}
+	// Input must be unmodified.
+	if len(events) != 400 {
+		t.Errorf("input mutated: %d events", len(events))
+	}
+}
+
+func TestDuplicateEvents(t *testing.T) {
+	events := seedEvents(50)
+	c := NewCorruptor(rand.New(rand.NewSource(11)))
+	out, f := c.DuplicateEvents(events, 0.1)
+	dups := f.DuplicatedStarts + f.DuplicatedEnds
+	if dups == 0 {
+		t.Fatal("no events duplicated at rate 0.1")
+	}
+	if len(out) != len(events)+dups {
+		t.Errorf("output has %d events, want %d", len(out), len(events)+dups)
+	}
+}
+
+func TestTruncateTrail(t *testing.T) {
+	events := seedEvents(20)
+	c := NewCorruptor(rand.New(rand.NewSource(3)))
+	out, f := c.TruncateTrail(events, 0.25)
+	if f.TruncatedEvents != len(events)-len(out) {
+		t.Errorf("TruncatedEvents = %d, want %d", f.TruncatedEvents, len(events)-len(out))
+	}
+	if f.TruncatedEvents == 0 {
+		t.Fatal("nothing truncated at frac 0.25")
+	}
+	// Orphan count must match what a lenient assembler will find.
+	_, rep, err := wlog.AssembleWith(out, wlog.IngestOptions{Policy: wlog.Skip}, nil)
+	if err != nil {
+		t.Fatalf("AssembleWith: %v", err)
+	}
+	if got := rep.Errors[wlog.ClassStructure]; got != f.OrphanedStarts {
+		t.Errorf("assembler found %d structure errors, injector predicted %d", got, f.OrphanedStarts)
+	}
+}
+
+func TestInjectGarbage(t *testing.T) {
+	events := seedEvents(30)
+	var b strings.Builder
+	if err := wlog.WriteText(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCorruptor(rand.New(rand.NewSource(5)))
+	text, f := c.InjectGarbage(b.String(), 0.15)
+	if f.GarbageLines == 0 {
+		t.Fatal("no garbage injected at rate 0.15")
+	}
+	// Every injected line must fail the text codec: a lenient decode counts
+	// exactly GarbageLines syntax errors and recovers every real event.
+	decoded, rep, err := wlog.ReadTextWith(strings.NewReader(text), wlog.IngestOptions{Policy: wlog.Skip}, nil)
+	if err != nil {
+		t.Fatalf("ReadTextWith: %v", err)
+	}
+	if rep.Errors[wlog.ClassSyntax] != f.GarbageLines {
+		t.Errorf("syntax errors = %d, want %d", rep.Errors[wlog.ClassSyntax], f.GarbageLines)
+	}
+	if len(decoded) != len(events) {
+		t.Errorf("recovered %d events, want %d", len(decoded), len(events))
+	}
+	if f.Total() != f.GarbageLines {
+		t.Errorf("Total() = %d, want %d", f.Total(), f.GarbageLines)
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+}

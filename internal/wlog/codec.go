@@ -39,15 +39,23 @@ func WriteText(w io.Writer, events []Event) error {
 // '#' are skipped. For very large trails prefer StreamText, which does not
 // materialize the slice.
 func ReadText(r io.Reader) ([]Event, error) {
+	events, _, err := ReadTextWith(r, IngestOptions{}, nil)
+	return events, err
+}
+
+// ReadTextWith parses the text-log format under a recovery policy:
+// unparseable lines are counted in the report and skipped instead of
+// aborting the read (FailFast behaves exactly like ReadText).
+func ReadTextWith(r io.Reader, opts IngestOptions, rep *IngestReport) ([]Event, *IngestReport, error) {
 	var events []Event
-	err := StreamText(r, func(ev Event) error {
+	rep, err := StreamTextWith(r, opts, rep, func(ev Event) error {
 		events = append(events, ev)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return events, nil
+	return events, rep, nil
 }
 
 // csvHeader is the fixed column set of the CSV codec.
@@ -80,35 +88,26 @@ func WriteCSV(w io.Writer, events []Event) error {
 	return cw.Error()
 }
 
-// ReadCSV parses the CSV codec's output (header row required).
+// ReadCSV parses the CSV codec's output (header row required). Errors carry
+// the 1-based data record number.
 func ReadCSV(r io.Reader) ([]Event, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("wlog: reading CSV header: %w", err)
-	}
-	for i, h := range csvHeader {
-		if header[i] != h {
-			return nil, fmt.Errorf("wlog: CSV header column %d is %q, want %q", i, header[i], h)
-		}
-	}
+	events, _, err := ReadCSVWith(r, IngestOptions{}, nil)
+	return events, err
+}
+
+// ReadCSVWith parses the CSV codec under a recovery policy: bad rows are
+// counted in the report and skipped instead of aborting the read. A
+// malformed header is always fatal.
+func ReadCSVWith(r io.Reader, opts IngestOptions, rep *IngestReport) ([]Event, *IngestReport, error) {
 	var events []Event
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("wlog: reading CSV: %w", err)
-		}
-		ev, err := decodeCSVRecord(rec)
-		if err != nil {
-			return nil, err
-		}
+	rep, err := StreamCSVWith(r, opts, rep, func(ev Event) error {
 		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
 	}
-	return events, nil
+	return events, rep, nil
 }
 
 // decodeCSVRecord decodes one data row of the CSV codec.
@@ -165,25 +164,44 @@ func WriteJSON(w io.Writer, events []Event) error {
 	return enc.Encode(arr)
 }
 
-// ReadJSON parses the JSON codec's output.
+// ReadJSON parses the JSON codec's output. Per-record errors carry the
+// 1-based array index of the bad record.
 func ReadJSON(r io.Reader) ([]Event, error) {
+	events, _, err := ReadJSONWith(r, IngestOptions{}, nil)
+	return events, err
+}
+
+// ReadJSONWith parses the JSON codec under a recovery policy: records with
+// an invalid event type are counted in the report and skipped. A document
+// that does not parse as a JSON array at all is always fatal — there is no
+// record boundary to resynchronize on.
+func ReadJSONWith(r io.Reader, opts IngestOptions, rep *IngestReport) ([]Event, *IngestReport, error) {
+	rep = ensureReport(rep, opts)
 	var arr []jsonEvent
 	if err := json.NewDecoder(r).Decode(&arr); err != nil {
-		return nil, fmt.Errorf("wlog: decoding JSON: %w", err)
+		return nil, rep, fmt.Errorf("wlog: decoding JSON: %w", err)
 	}
-	events := make([]Event, len(arr))
+	events := make([]Event, 0, len(arr))
 	for i, je := range arr {
+		rep.RecordsRead++
 		typ, err := ParseEventType(je.Type)
 		if err != nil {
-			return nil, err
+			if !opts.lenient() {
+				return nil, rep, fmt.Errorf("wlog: JSON record %d: %w", i+1, err)
+			}
+			if err := handleBadRecord(opts, rep, IngestError{Class: ClassSyntax, Record: i + 1, Err: err}); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		events[i] = Event{
+		rep.EventsDecoded++
+		events = append(events, Event{
 			ProcessID: je.Process,
 			Activity:  je.Activity,
 			Type:      typ,
 			Time:      time.Unix(0, je.TimeNS).UTC(),
 			Output:    je.Output,
-		}
+		})
 	}
-	return events, nil
+	return events, rep, nil
 }

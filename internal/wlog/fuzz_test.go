@@ -40,6 +40,72 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+// FuzzExecutionStreamPush pushes arbitrary (often structurally broken) event
+// sequences through an ExecutionStream under every recovery policy and with
+// tight resource watermarks. Nothing may panic; with an unlimited error
+// budget the lenient policies may never surface an error; and everything
+// emitted must be a well-formed execution.
+func FuzzExecutionStreamPush(f *testing.F) {
+	f.Add("p A START 1\np A END 2\n", uint8(0))
+	f.Add("p A END 1\np A START 2\n", uint8(1))
+	f.Add("p A START 1\nq B START 2\nr C START 3\ns D START 4\n", uint8(2))
+	f.Add("p A START 1\np A START 2\np A START 3\np A END 4\n", uint8(1))
+	f.Fuzz(func(t *testing.T, input string, mode uint8) {
+		events, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, policy := range []Policy{FailFast, Skip, Quarantine} {
+			opts := IngestOptions{Policy: policy}
+			if mode&1 != 0 {
+				opts.MaxOpenExecutions = 2
+			}
+			if mode&2 != 0 {
+				opts.MaxStepsPerExecution = 3
+			}
+			var emitted []Execution
+			s := NewExecutionStreamWith(opts, nil, func(e Execution) error {
+				emitted = append(emitted, e)
+				return nil
+			})
+			var streamErr error
+			for _, e := range events {
+				if err := s.Push(e); err != nil {
+					streamErr = err
+					break
+				}
+			}
+			if streamErr == nil {
+				streamErr = s.Close()
+			}
+			if streamErr != nil && opts.Policy != FailFast {
+				// Lenient policies with MaxErrors unlimited absorb every
+				// structural fault instead of propagating it.
+				t.Fatalf("policy %v returned %v", policy, streamErr)
+			}
+			seen := map[string]bool{}
+			for _, e := range emitted {
+				if seen[e.ID] {
+					t.Fatalf("policy %v emitted execution %q twice", policy, e.ID)
+				}
+				seen[e.ID] = true
+				if len(e.Steps) == 0 {
+					t.Fatalf("policy %v emitted empty execution %q", policy, e.ID)
+				}
+				for _, st := range e.Steps {
+					if st.End.Before(st.Start) {
+						t.Fatalf("policy %v emitted step %s ending before it starts", policy, st.Activity)
+					}
+				}
+				if opts.MaxStepsPerExecution > 0 && len(e.Steps) > opts.MaxStepsPerExecution {
+					t.Fatalf("policy %v emitted %d steps, watermark %d",
+						policy, len(e.Steps), opts.MaxStepsPerExecution)
+				}
+			}
+		}
+	})
+}
+
 // FuzzAssemble checks that assembling arbitrary decoded event streams never
 // panics and that successful assemblies validate.
 func FuzzAssemble(f *testing.F) {

@@ -95,13 +95,27 @@ func xesTransition(t EventType) string {
 // get synthetic IDs trace1, trace2, ...; events missing a lifecycle
 // transition are treated as instantaneous (a complete implicitly preceded by
 // a start at the same instant minus one nanosecond), which matches how many
-// XES exporters record atomic activities.
+// XES exporters record atomic activities. Per-event errors carry the trace
+// ID, the event's position within the trace, and the global record number.
 func ReadXES(r io.Reader) (*Log, error) {
+	l, _, err := ReadXESWith(r, IngestOptions{}, nil)
+	return l, err
+}
+
+// ReadXESWith decodes an XES document under a recovery policy: events with
+// bad timestamps, bad output attributes, or missing mandatory attributes are
+// counted in the report and skipped, and the assembly of traces into
+// executions runs through AssembleWith, so structurally damaged traces are
+// skipped or quarantined per the policy. A document that does not parse as
+// XML at all is always fatal.
+func ReadXESWith(r io.Reader, opts IngestOptions, rep *IngestReport) (*Log, *IngestReport, error) {
+	rep = ensureReport(rep, opts)
 	var doc xesLog
 	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("wlog: decoding XES: %w", err)
+		return nil, rep, fmt.Errorf("wlog: decoding XES: %w", err)
 	}
 	var events []Event
+	recno := 0 // global event ordinal across traces
 	for ti, tr := range doc.Traces {
 		id := ""
 		for _, a := range tr.Attrs {
@@ -113,6 +127,8 @@ func ReadXES(r io.Reader) (*Log, error) {
 			id = "trace" + strconv.Itoa(ti+1)
 		}
 		for ei, ev := range tr.Events {
+			recno++
+			rep.RecordsRead++
 			var (
 				activity   string
 				transition string
@@ -120,6 +136,7 @@ func ReadXES(r io.Reader) (*Log, error) {
 				output     Output
 				outIdx     []int
 				outVal     = map[int]int{}
+				decodeErr  error
 			)
 			for _, a := range ev.Attrs {
 				switch {
@@ -130,28 +147,48 @@ func ReadXES(r io.Reader) (*Log, error) {
 				case a.Key == "time:timestamp":
 					t, err := time.Parse(time.RFC3339Nano, a.Value)
 					if err != nil {
-						return nil, fmt.Errorf("wlog: trace %q event %d: bad timestamp %q: %w", id, ei, a.Value, err)
+						decodeErr = fmt.Errorf("trace %q event %d: bad timestamp %q: %w", id, ei, a.Value, err)
 					}
 					ts = t
 				case strings.HasPrefix(a.Key, "out:"):
 					i, err := strconv.Atoi(strings.TrimPrefix(a.Key, "out:"))
 					if err != nil {
-						return nil, fmt.Errorf("wlog: trace %q event %d: bad output key %q", id, ei, a.Key)
+						decodeErr = fmt.Errorf("trace %q event %d: bad output key %q", id, ei, a.Key)
+						continue
 					}
 					v, err := strconv.Atoi(a.Value)
 					if err != nil {
-						return nil, fmt.Errorf("wlog: trace %q event %d: bad output value %q", id, ei, a.Value)
+						decodeErr = fmt.Errorf("trace %q event %d: bad output value %q", id, ei, a.Value)
+						continue
 					}
 					outIdx = append(outIdx, i)
 					outVal[i] = v
 				}
+				if decodeErr != nil {
+					break
+				}
 			}
-			if activity == "" {
-				return nil, fmt.Errorf("wlog: trace %q event %d: missing concept:name", id, ei)
+			if decodeErr == nil && activity == "" {
+				decodeErr = fmt.Errorf("trace %q event %d: missing concept:name", id, ei)
 			}
-			if ts.IsZero() {
-				return nil, fmt.Errorf("wlog: trace %q event %d: missing time:timestamp", id, ei)
+			if decodeErr == nil && ts.IsZero() {
+				decodeErr = fmt.Errorf("trace %q event %d: missing time:timestamp", id, ei)
 			}
+			if decodeErr != nil {
+				if !opts.lenient() {
+					return nil, rep, fmt.Errorf("wlog: record %d: %w", recno, decodeErr)
+				}
+				e := IngestError{Class: ClassSyntax, Record: recno, Execution: id, Err: decodeErr}
+				if err := handleBadRecord(opts, rep, e); err != nil {
+					return nil, rep, err
+				}
+				if opts.Policy == Quarantine {
+					// A garbled event taints its whole trace.
+					rep.quarantine(id)
+				}
+				continue
+			}
+			rep.EventsDecoded++
 			if len(outIdx) > 0 {
 				sort.Ints(outIdx)
 				width := outIdx[len(outIdx)-1] + 1
@@ -176,5 +213,22 @@ func ReadXES(r io.Reader) (*Log, error) {
 			}
 		}
 	}
-	return Assemble(events)
+	if opts.lenient() {
+		// Drop events of traces quarantined during decode before assembly,
+		// so a half-decoded trace cannot masquerade as a short execution.
+		if rep.ExecutionsQuarantined > 0 {
+			kept := events[:0]
+			for _, ev := range events {
+				if rep.isQuarantined(ev.ProcessID) {
+					rep.RecordsSkipped++
+					continue
+				}
+				kept = append(kept, ev)
+			}
+			events = kept
+		}
+		return AssembleWith(events, opts, rep)
+	}
+	l, err := Assemble(events)
+	return l, rep, err
 }

@@ -31,6 +31,7 @@ package procmine
 
 import (
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -81,6 +82,29 @@ type (
 	// IncrementalMiner accepts executions one at a time and materializes a
 	// conformal graph on demand — the paper's model-evolution use case.
 	IncrementalMiner = core.IncrementalMiner
+	// IngestOptions selects the ingestion recovery policy and resource
+	// watermarks for fault-tolerant log reading.
+	IngestOptions = wlog.IngestOptions
+	// IngestReport counts records read/skipped/quarantined during
+	// fault-tolerant ingestion, with sample errors.
+	IngestReport = wlog.IngestReport
+	// IngestError is one recorded ingestion failure with its position.
+	IngestError = wlog.IngestError
+	// Policy is an ingestion recovery policy.
+	Policy = wlog.Policy
+	// ExecutionStream groups live events into executions under the
+	// configured policy and memory watermarks.
+	ExecutionStream = wlog.ExecutionStream
+)
+
+// Ingestion recovery policies.
+const (
+	// FailFast aborts on the first bad record (the default).
+	FailFast = wlog.FailFast
+	// Skip drops bad records and unterminated steps, keeping the rest.
+	Skip = wlog.Skip
+	// Quarantine sets aside whole executions touched by a bad event.
+	Quarantine = wlog.Quarantine
 )
 
 // Constructors re-exported for convenience.
@@ -103,6 +127,28 @@ var (
 	ParseCondition = model.ParseCondition
 	// ReadGraph parses the adjacency format emitted by Graph.WriteAdjacency.
 	ReadGraph = graph.ReadAdjacency
+	// NewExecutionStream returns a FailFast execution stream.
+	NewExecutionStream = wlog.NewExecutionStream
+	// NewExecutionStreamWith returns an execution stream governed by an
+	// ingestion policy and resource watermarks.
+	NewExecutionStreamWith = wlog.NewExecutionStreamWith
+	// AssembleWith groups raw events into executions under a recovery
+	// policy, reporting skipped and quarantined records.
+	AssembleWith = wlog.AssembleWith
+)
+
+// Typed ingestion and limit errors, re-exported for errors.Is checks.
+var (
+	// ErrTooManyErrors aborts lenient ingestion over IngestOptions.MaxErrors.
+	ErrTooManyErrors = wlog.ErrTooManyErrors
+	// ErrTooManyOpenExecutions is the MaxOpenExecutions watermark error.
+	ErrTooManyOpenExecutions = wlog.ErrTooManyOpenExecutions
+	// ErrExecutionTooLong is the MaxStepsPerExecution watermark error.
+	ErrExecutionTooLong = wlog.ErrExecutionTooLong
+	// ErrTooManyActivities is the Options.MaxActivities mining limit error.
+	ErrTooManyActivities = core.ErrTooManyActivities
+	// ErrTooManyInstances is the Options.MaxInstanceLabels mining limit error.
+	ErrTooManyInstances = core.ErrTooManyInstances
 )
 
 // Mine synthesizes a conformal process model graph from the log, choosing
@@ -113,6 +159,15 @@ func Mine(l *Log, opt Options) (*Graph, error) {
 		return core.MineCyclic(l, opt)
 	}
 	return core.MineGeneralDAG(l, opt)
+}
+
+// MineContext is Mine with cancellation and resource limits: ctx is checked
+// between scan passes and before each per-execution transitive reduction of
+// the marking pass (the O(mn³) hot spot), and Options.MaxActivities /
+// Options.MaxInstanceLabels turn unbounded allocation on adversarial logs
+// into typed errors (ErrTooManyActivities, ErrTooManyInstances).
+func MineContext(ctx context.Context, l *Log, opt Options) (*Graph, error) {
+	return core.MineContext(ctx, l, opt)
 }
 
 // MineExact is Algorithm 1 ("Special DAG"): for logs in which every activity
@@ -213,26 +268,37 @@ func FormatForPath(path string) LogFormat {
 // ReadLog decodes events from r in the given format and assembles them into
 // a log.
 func ReadLog(r io.Reader, format LogFormat) (*Log, error) {
+	l, _, err := ReadLogWith(r, format, IngestOptions{})
+	return l, err
+}
+
+// ReadLogWith is ReadLog under an ingestion recovery policy: bad records are
+// skipped (or their executions quarantined) per opts instead of aborting the
+// read, and the returned IngestReport counts exactly what happened. One
+// report spans both decoding and assembly. Under the zero-value options
+// (FailFast) it behaves exactly like ReadLog.
+func ReadLogWith(r io.Reader, format LogFormat, opts IngestOptions) (*Log, *IngestReport, error) {
+	rep := wlog.NewIngestReport(opts)
 	var (
 		events []Event
 		err    error
 	)
 	switch format {
 	case FormatText:
-		events, err = wlog.ReadText(r)
+		events, rep, err = wlog.ReadTextWith(r, opts, rep)
 	case FormatCSV:
-		events, err = wlog.ReadCSV(r)
+		events, rep, err = wlog.ReadCSVWith(r, opts, rep)
 	case FormatJSON:
-		events, err = wlog.ReadJSON(r)
+		events, rep, err = wlog.ReadJSONWith(r, opts, rep)
 	case FormatXES:
-		return wlog.ReadXES(r)
+		return wlog.ReadXESWith(r, opts, rep)
 	default:
-		return nil, fmt.Errorf("procmine: unknown log format %d", format)
+		return nil, rep, fmt.Errorf("procmine: unknown log format %d", format)
 	}
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return wlog.Assemble(events)
+	return wlog.AssembleWith(events, opts, rep)
 }
 
 // WriteLog encodes the log's events to w in the given format.
@@ -255,21 +321,31 @@ func WriteLog(w io.Writer, l *Log, format LogFormat) error {
 // ReadLogFile reads a log file, guessing the codec from the extension; a
 // ".gz" suffix enables transparent gzip decompression.
 func ReadLogFile(path string) (*Log, error) {
+	l, _, err := ReadLogFileWith(path, IngestOptions{})
+	return l, err
+}
+
+// ReadLogFileWith is ReadLogFile under an ingestion recovery policy. A
+// truncated or corrupt gzip stream is reported as an error even under
+// lenient policies — decompression failure leaves no record boundary to
+// resynchronize on — but everything decoded before the damage is governed
+// by the policy.
+func ReadLogFileWith(path string, opts IngestOptions) (*Log, *IngestReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	var r io.Reader = f
 	if strings.EqualFold(filepath.Ext(path), ".gz") {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
-			return nil, fmt.Errorf("procmine: opening gzip log %s: %w", path, err)
+			return nil, nil, fmt.Errorf("procmine: opening gzip log %s: %w", path, err)
 		}
 		defer zr.Close()
 		r = zr
 	}
-	return ReadLog(r, FormatForPath(path))
+	return ReadLogWith(r, FormatForPath(path), opts)
 }
 
 // WriteLogFile writes a log file, guessing the codec from the extension; a

@@ -1,0 +1,134 @@
+package procmine_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"procmine"
+)
+
+func writeSeedLog(t *testing.T, path string) *procmine.Log {
+	t.Helper()
+	l := procmine.LogFromStrings("ABCE", "ABCE", "ACBE", "ABCE")
+	if err := procmine.WriteLogFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestGzipTruncatedLogFile cuts a gzip log mid-stream: decompression damage
+// has no record boundary to resynchronize on, so every policy must surface
+// an error (never a panic, never a silently short log).
+func TestGzipTruncatedLogFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trail.log.gz")
+	writeSeedLog(t, path)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 40 {
+		t.Fatalf("gzip log suspiciously small: %d bytes", len(data))
+	}
+	for _, cut := range []int{len(data) / 2, len(data) - 4, 10} {
+		trunc := filepath.Join(dir, "trunc.log.gz")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []procmine.IngestOptions{
+			{},
+			{Policy: procmine.Skip},
+			{Policy: procmine.Quarantine},
+		} {
+			if _, _, err := procmine.ReadLogFileWith(trunc, opts); err == nil {
+				t.Errorf("cut at %d bytes, policy %v: truncated gzip accepted", cut, opts.Policy)
+			}
+		}
+		if _, err := procmine.ReadLogFile(trunc); err == nil {
+			t.Errorf("cut at %d bytes: ReadLogFile accepted truncated gzip", cut)
+		}
+	}
+}
+
+// TestGzipRoundTripWithPolicies makes sure an intact gzip file still reads
+// under every policy with a clean report.
+func TestGzipRoundTripWithPolicies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trail.log.gz")
+	want := writeSeedLog(t, path)
+	for _, opts := range []procmine.IngestOptions{
+		{},
+		{Policy: procmine.Skip},
+		{Policy: procmine.Quarantine},
+	} {
+		got, rep, err := procmine.ReadLogFileWith(path, opts)
+		if err != nil {
+			t.Fatalf("policy %v: %v", opts.Policy, err)
+		}
+		if len(got.Executions) != len(want.Executions) {
+			t.Errorf("policy %v: %d executions, want %d", opts.Policy, len(got.Executions), len(want.Executions))
+		}
+		if rep != nil && !rep.Clean() {
+			t.Errorf("policy %v: dirty report on clean file: %s", opts.Policy, rep.Summary())
+		}
+	}
+}
+
+// TestReadLogWithFacade drives the facade across one corrupt text trail and
+// asserts the policy contract end to end: FailFast refuses, Skip keeps every
+// execution, Quarantine drops exactly the touched one.
+func TestReadLogWithFacade(t *testing.T) {
+	const trail = `p1 A START 1
+p1 A END 2
+p1 B START 3
+p1 B END 4
+this line is garbage
+p2 A START 1
+p2 A END 2
+p2 C END 9
+p2 B START 3
+p2 B END 4
+`
+	if _, _, err := procmine.ReadLogWith(strings.NewReader(trail), procmine.FormatText, procmine.IngestOptions{}); err == nil {
+		t.Fatal("FailFast accepted corrupt trail")
+	}
+
+	l, rep, err := procmine.ReadLogWith(strings.NewReader(trail), procmine.FormatText, procmine.IngestOptions{Policy: procmine.Skip})
+	if err != nil {
+		t.Fatalf("Skip: %v", err)
+	}
+	if len(l.Executions) != 2 {
+		t.Errorf("Skip kept %d executions, want 2", len(l.Executions))
+	}
+	if rep.TotalErrors() != 2 { // 1 garbage line + 1 END-without-START
+		t.Errorf("Skip recorded %d errors, want 2: %s", rep.TotalErrors(), rep.Summary())
+	}
+
+	l, rep, err = procmine.ReadLogWith(strings.NewReader(trail), procmine.FormatText, procmine.IngestOptions{Policy: procmine.Quarantine})
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if len(l.Executions) != 1 || l.Executions[0].ID != "p1" {
+		t.Errorf("Quarantine kept %v, want just p1", l.Executions)
+	}
+	if rep.ExecutionsQuarantined != 1 || len(rep.QuarantinedIDs) != 1 || rep.QuarantinedIDs[0] != "p2" {
+		t.Errorf("Quarantine report %+v, want exactly p2 quarantined", rep)
+	}
+}
+
+// TestMaxErrorsBudget verifies the error budget aborts lenient ingestion
+// with ErrTooManyErrors once exceeded.
+func TestMaxErrorsBudget(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		b.WriteString("garbage line that cannot parse\n")
+	}
+	_, _, err := procmine.ReadLogWith(strings.NewReader(b.String()), procmine.FormatText,
+		procmine.IngestOptions{Policy: procmine.Skip, MaxErrors: 5})
+	if !errors.Is(err, procmine.ErrTooManyErrors) {
+		t.Fatalf("got %v, want ErrTooManyErrors", err)
+	}
+}

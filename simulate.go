@@ -21,8 +21,13 @@ type (
 	// Simulator is the Section 8.1 list-based random execution generator
 	// for plain DAGs (no conditions).
 	Simulator = synth.Simulator
-	// Corruptor injects Section 6 noise into logs.
+	// Corruptor injects Section 6 noise into logs, plus structural faults
+	// (dropped ENDs, duplicated events, truncated trails, garbage lines)
+	// into raw event streams for chaos-testing ingestion.
 	Corruptor = noise.Corruptor
+	// StructuralFaults counts the faults a structural corruption injected,
+	// for exact comparison against an IngestReport.
+	StructuralFaults = noise.StructuralFaults
 	// OutputFunc produces an activity's output vector.
 	OutputFunc = model.OutputFunc
 	// Threshold is a single-comparison condition o[i] OP value.
