@@ -89,7 +89,7 @@ func BenchmarkTable3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		l, err := eng.GenerateLog("b_", flowmark.PaperExecutions[name], 0)
+		l, err := eng.GenerateLog("b_", flowmark.PaperExecutions()[name], 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -107,9 +107,12 @@ func run(args []string) error {
 			return ferr
 		}
 		p, perr := model.ReadProcess(f)
-		f.Close()
+		cerr := f.Close()
 		if perr != nil {
 			return perr
+		}
+		if cerr != nil {
+			return fmt.Errorf("closing %s: %w", *defPath, cerr)
 		}
 		eng, eerr := flowmark.NewEngine(p, rng)
 		if eerr != nil {

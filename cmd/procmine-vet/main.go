@@ -1,0 +1,157 @@
+// Command procmine-vet runs the procmine static-analysis suite: the four
+// go/analysis-style passes that mechanically enforce the invariants the
+// paper's conformality guarantees rest on (see DESIGN.md, "Static analysis
+// invariants").
+//
+// Standalone, over package patterns:
+//
+//	procmine-vet ./...
+//
+// Or as a vet tool, one package at a time under cmd/go's unit-checker
+// protocol:
+//
+//	go vet -vettool=$(which procmine-vet) ./...
+//
+// Exit status: 0 when clean, 1 when any pass reports a finding, 2 when
+// loading or type-checking fails. Findings can be silenced per line with
+// `//lint:ignore procmine <reason>` or
+// `//lint:ignore procmine/<pass> <reason>`.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/driver"
+	"procmine/internal/analysis/passes/ctxflow"
+	"procmine/internal/analysis/passes/errlost"
+	"procmine/internal/analysis/passes/mapiterorder"
+	"procmine/internal/analysis/passes/noglobals"
+	"procmine/internal/analysis/vetcfg"
+)
+
+// suite returns the full pass list.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer(),
+		errlost.Analyzer(),
+		mapiterorder.Analyzer(),
+		noglobals.Analyzer(),
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// say writes best-effort CLI output. A failed write to stdout/stderr leaves
+// the tool no channel to report on, so the error is deliberately dropped
+// here — in exactly one place.
+func say(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("procmine-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go tool-ID protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "describe flags as JSON and exit (cmd/go vet-tool protocol)")
+	fs.Usage = func() {
+		say(stderr, "usage: procmine-vet [packages] | procmine-vet <unit>.cfg\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		return printVersion(stdout, stderr, *versionFlag)
+	}
+	if *flagsFlag {
+		return printFlags(fs, stdout, stderr)
+	}
+	rest := fs.Args()
+
+	// Unit-checker mode: cmd/go hands us one <unit>.cfg per package.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetcfg.Run(rest[0], suite(), *jsonFlag, stdout, stderr)
+	}
+
+	if len(rest) == 0 {
+		rest = []string{"."}
+	}
+	findings, err := driver.Run(rest, suite())
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	wd, _ := os.Getwd()
+	driver.Format(stdout, wd, findings)
+	return 1
+}
+
+// printFlags implements the cmd/go -flags handshake: before running a vet
+// tool, the go command asks it to describe its flag set as a JSON array so
+// vet-specific command-line flags can be routed to it.
+func printFlags(fs *flag.FlagSet, stdout, stderr io.Writer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
+	say(stdout, "%s\n", data)
+	return 0
+}
+
+// printVersion implements the cmd/go -V=full tool-ID handshake: the go
+// command embeds the printed line in its build cache key, so it must vary
+// with the binary's contents.
+func printVersion(stdout, stderr io.Writer, mode string) int {
+	if mode != "full" {
+		say(stderr, "procmine-vet: unsupported flag value -V=%s\n", mode)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
+	h := sha256.New()
+	_, cerr := io.Copy(h, f)
+	if err := f.Close(); cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		say(stderr, "procmine-vet: %v\n", cerr)
+		return 2
+	}
+	say(stdout, "%s version procmine-vet buildID=%x\n", exe, h.Sum(nil))
+	return 0
+}

@@ -250,9 +250,12 @@ func run(args []string) error {
 			return fmt.Errorf("opening reference graph: %w", err)
 		}
 		ref, err := procmine.ReadGraph(f)
-		f.Close()
+		cerr := f.Close()
 		if err != nil {
 			return fmt.Errorf("parsing reference graph: %w", err)
+		}
+		if cerr != nil {
+			return fmt.Errorf("closing reference graph: %w", cerr)
 		}
 		d := procmine.Compare(ref, g)
 		if d.Equal() {

@@ -1,0 +1,90 @@
+package procmine
+
+// Regression test for the invariant the mapiterorder pass enforces
+// statically: mining the same log must serialize to byte-identical output on
+// every run. Go randomizes map iteration order per map, so any serialization
+// path that leaks it produces different bytes across the 20 repetitions
+// below with high probability.
+
+import (
+	"strings"
+	"testing"
+)
+
+// mineAndSerialize runs one full mine-and-render cycle and returns every
+// textual form the CLI can emit: DOT, the ASCII layer sketch, the adjacency
+// list, and the debug model text.
+func mineAndSerialize(t *testing.T, log *Log) (dot, ascii, adj, model string) {
+	t.Helper()
+	g, err := Mine(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot = g.Dot("P")
+	var ab strings.Builder
+	if err := g.WriteAdjacency(&ab); err != nil {
+		t.Fatal(err)
+	}
+	var lb strings.Builder
+	if err := g.WriteLayers(&lb); err != nil {
+		t.Fatal(err)
+	}
+	return dot, lb.String(), ab.String(), g.String()
+}
+
+func TestMineSerializationDeterminism(t *testing.T) {
+	// The paper's running example plus extra interleavings: enough
+	// parallelism that the mined graph's maps hold several keys per vertex.
+	log := LogFromStrings(
+		"ABCDEF", "ACBDEF", "ABCEDF", "ACBEDF",
+		"ABDCEF", "ACDBEF", "ABCDEF", "ACBDEF",
+	)
+	dot0, ascii0, adj0, model0 := mineAndSerialize(t, log)
+	if dot0 == "" || ascii0 == "" || adj0 == "" || model0 == "" {
+		t.Fatal("serialization produced empty output")
+	}
+	for i := 1; i < 20; i++ {
+		dot, ascii, adj, model := mineAndSerialize(t, log)
+		if dot != dot0 {
+			t.Fatalf("run %d: DOT output differs:\n--- run 0\n%s\n--- run %d\n%s", i, dot0, i, dot)
+		}
+		if ascii != ascii0 {
+			t.Fatalf("run %d: layer output differs:\n--- run 0\n%s\n--- run %d\n%s", i, ascii0, i, ascii)
+		}
+		if adj != adj0 {
+			t.Fatalf("run %d: adjacency output differs:\n--- run 0\n%s\n--- run %d\n%s", i, adj0, i, adj)
+		}
+		if model != model0 {
+			t.Fatalf("run %d: model text differs:\n--- run 0\n%s\n--- run %d\n%s", i, model0, i, model)
+		}
+	}
+}
+
+// TestCyclicRenderDeterminism covers the SCC-collapsing path of the layer
+// renderer, which buckets vertices through maps of its own: a mined cyclic
+// model must also render identically every time.
+func TestCyclicRenderDeterminism(t *testing.T) {
+	log := LogFromStrings(
+		"ABCBCD", "ABCD", "ABCBCBCD", "ABCD", "ABCBCD",
+	)
+	g, err := MineCyclic(log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		var b strings.Builder
+		if err := g.WriteLayers(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String() + g.Dot("C")
+	}
+	first := render()
+	if !strings.Contains(first, "{") {
+		t.Fatalf("expected a collapsed SCC pseudo-vertex in cyclic render:\n%s", first)
+	}
+	for i := 1; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d: cyclic render differs:\n--- run 0\n%s\n--- run %d\n%s", i, first, i, got)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package driver loads and type-checks Go packages for the procmine-vet
+// analyzer suite without depending on golang.org/x/tools. It resolves
+// packages and their export data with `go list -export -deps -json` (which
+// works offline against the local build cache) and type-checks each target
+// package from source with the standard library's gc importer.
+//
+// Only non-test files are analyzed: `go list` does not produce export data
+// for the test dependency graph, and the invariants the suite enforces
+// (deterministic output, context propagation, error handling, no mutable
+// globals) concern production code paths.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// Finding is one analyzer diagnostic resolved to a file position.
+type Finding struct {
+	// Analyzer names the reporting pass.
+	Analyzer string
+	// Pos is the file:line:column of the offending syntax.
+	Pos token.Position
+	// Message states the violation.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Error      *struct{ Err string }
+}
+
+// Run loads the packages matched by patterns, applies every analyzer to
+// each, and returns the surviving findings sorted by position. It returns
+// an error if loading or type-checking fails; analyzers themselves
+// reporting findings is not an error.
+func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	targets, exports, err := load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var findings []Finding
+	for _, lp := range targets {
+		files, err := parseFiles(fset, lp)
+		if err != nil {
+			return nil, err
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+			}
+			diags, err := analysis.Run(a, pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+			}
+			for _, d := range diags {
+				findings = append(findings, Finding{
+					Analyzer: d.Analyzer,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// load invokes `go list -export -deps -json` and splits the result into the
+// target packages (those matched by the patterns) and an import-path ->
+// export-data-file map covering every dependency.
+func load(patterns []string) (targets []listPackage, exports map[string]string, err error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports = make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly || lp.ImportPath == "unsafe" {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		targets = append(targets, lp)
+	}
+	return targets, exports, nil
+}
+
+// parseFiles parses a package's non-test Go files with comments.
+func parseFiles(fset *token.FileSet, lp listPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Format renders findings one per line, with paths relative to dir when
+// possible (matching go vet's output style).
+func Format(w io.Writer, dir string, findings []Finding) {
+	for _, f := range findings {
+		pos := f.Pos
+		if dir != "" {
+			if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+	}
+}

@@ -1,0 +1,173 @@
+// Package ctxflow enforces the cancellation contract introduced with the
+// Mine*Context API: mining is polynomial but not cheap (the Algorithm 2
+// marking pass is O(mn^3) in the worst case), so every long loop over a
+// log's executions must remain responsive to ctx, and library code must
+// never fabricate its own background context.
+//
+// Three rules:
+//
+//  1. An exported function whose name ends in "Context" and that takes a
+//     context.Context must actually consult it — call ctx.Err() or
+//     ctx.Done(), or pass ctx to another call. Accepting a context and
+//     ignoring it advertises a cancellation point that does not exist.
+//
+//  2. Inside any function with a context.Context parameter, a `for range`
+//     loop over an Executions field or variable (the per-execution unit of
+//     mining work) must consult ctx in its body — a ctx.Err()/ctx.Done()
+//     check or a call that receives ctx — so cancellation takes effect
+//     mid-pass rather than after the whole scan.
+//
+//  3. In library packages (import path containing "internal/"),
+//     context.Background() and context.TODO() may appear only inside a
+//     return statement — the conventional non-Context convenience wrapper
+//     `func Mine(...) { return MineContext(context.Background(), ...) }`.
+//     Anywhere else they sever an existing cancellation chain.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// Analyzer returns the ctxflow pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc:  "enforces that contexts are threaded through and consulted by per-execution mining loops",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	libraryPkg := pass.ForceScope || strings.Contains(pass.Pkg.Path(), "internal/")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxObj := ctxParam(pass, fn)
+			if ctxObj != nil {
+				if fn.Name.IsExported() && strings.HasSuffix(fn.Name.Name, "Context") &&
+					!usesCtx(pass, fn.Body, ctxObj) {
+					pass.Reportf(fn.Pos(),
+						"%s accepts a context.Context but never consults it (no ctx.Err/ctx.Done check and ctx is not forwarded)",
+						fn.Name.Name)
+				}
+				checkExecutionLoops(pass, fn, ctxObj)
+			}
+			if libraryPkg {
+				checkBackground(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the object of fn's first context.Context parameter, or
+// nil.
+func ctxParam(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && analysis.IsNamedType(obj.Type(), "context", "Context") {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// usesCtx reports whether body consults ctx: calls ctx.Err()/ctx.Done(),
+// receives from ctx.Done(), passes ctx to a call, or otherwise reads it.
+func usesCtx(pass *analysis.Pass, body ast.Node, ctx types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctx {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkExecutionLoops reports range loops over Executions that never
+// consult ctx in their body.
+func checkExecutionLoops(pass *analysis.Pass, fn *ast.FuncDecl, ctx types.Object) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesExecutions(rs.X) {
+			return true
+		}
+		if !usesCtx(pass, rs.Body, ctx) {
+			pass.Reportf(rs.Pos(),
+				"loop over %s does not consult ctx; add a ctx.Err() check or call a ctx-aware helper so cancellation takes effect mid-pass",
+				exprString(rs.X))
+		}
+		return true
+	})
+}
+
+// rangesExecutions reports whether the ranged expression names an
+// Executions field or variable.
+func rangesExecutions(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name == "Executions"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "Executions"
+	}
+	return false
+}
+
+// checkBackground reports context.Background()/context.TODO() calls
+// outside return-statement delegation.
+func checkBackground(pass *analysis.Pass, fn *ast.FuncDecl) {
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := analysis.CalleeObj(pass.TypesInfo, call)
+		name := ""
+		switch {
+		case analysis.IsPkgFunc(obj, "context", "Background"):
+			name = "context.Background"
+		case analysis.IsPkgFunc(obj, "context", "TODO"):
+			name = "context.TODO"
+		default:
+			return true
+		}
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.ReturnStmt); ok {
+				// Convenience-wrapper delegation: return F(context.Background(), ...).
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"%s() in library code severs the caller's cancellation chain; accept a ctx parameter (only `return F(%s(), ...)` wrappers are exempt)",
+			name, name)
+		return true
+	})
+}
+
+// exprString renders small expressions for messages.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "Executions"
+	}
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer(), "a")
+}
+
+// TestCtxFlowScope proves the background-context rule is scoped to library
+// packages: the same pattern that fires in fixture a is clean when the
+// package path falls outside internal/.
+func TestCtxFlowScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", ctxflow.Analyzer(), "b")
+}

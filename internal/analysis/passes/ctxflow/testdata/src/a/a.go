@@ -1,0 +1,79 @@
+// Package a exercises the ctxflow pass: Context-suffixed APIs must consult
+// ctx, Executions loops must stay cancelable, and library code must not
+// fabricate background contexts outside wrapper returns.
+package a
+
+import "context"
+
+// Log mimics the wlog.Log shape the pass keys on.
+type Log struct {
+	Executions []int
+}
+
+// MineContext advertises cancellation but never consults ctx.
+func MineContext(ctx context.Context, n int) int { // want "MineContext accepts a context.Context but never consults it"
+	return n * 2
+}
+
+// ScanContext consults ctx, so it is clean.
+func ScanContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// ForwardContext forwards ctx to a helper, which also counts as consulting.
+func ForwardContext(ctx context.Context, l *Log) int {
+	return process(ctx, l)
+}
+
+// process ranges over Executions without a ctx check in the loop body.
+func process(ctx context.Context, l *Log) int {
+	total := 0
+	for _, e := range l.Executions { // want "loop over l.Executions does not consult ctx"
+		total += e
+	}
+	if ctx.Err() != nil {
+		return 0
+	}
+	return total
+}
+
+// processOK checks ctx.Err inside the loop, so cancellation is mid-pass.
+func processOK(ctx context.Context, l *Log) int {
+	total := 0
+	for _, e := range l.Executions {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += e
+	}
+	return total
+}
+
+// makeCtx fabricates a background context outside a return statement.
+func makeCtx() context.Context {
+	ctx := context.Background() // want "severs the caller's cancellation chain"
+	return ctx
+}
+
+// Mine is the conventional convenience wrapper: delegation inside a return
+// statement is the one allowed use of context.Background in library code.
+func Mine(l *Log) int {
+	return processOK(context.Background(), l)
+}
+
+// MineSuppressedContext carries a directive on the line above the func line.
+//
+//lint:ignore procmine/ctxflow fixture proves the escape hatch works
+func MineSuppressedContext(ctx context.Context, n int) int {
+	return n
+}
+
+// useTODO carries a wrong-pass directive, so the finding still fires.
+func useTODO() context.Context {
+	//lint:ignore procmine/errlost wrong pass name does not silence this
+	c := context.TODO() // want "severs the caller's cancellation chain"
+	return c
+}

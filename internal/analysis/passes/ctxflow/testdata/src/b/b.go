@@ -1,0 +1,12 @@
+// Package b proves the package-path scoping of ctxflow's background-context
+// rule: outside library packages (no "internal/" in the import path and no
+// ForceScope), fabricating a context is allowed — binaries must create the
+// root context somewhere.
+package b
+
+import "context"
+
+func makeCtx() context.Context {
+	ctx := context.Background()
+	return ctx
+}

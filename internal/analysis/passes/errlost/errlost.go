@@ -1,0 +1,173 @@
+// Package errlost forbids silently dropped errors on the ingest and mining
+// paths. PR 1 made ingestion fault-tolerant by routing every failure
+// through typed, wrapped errors (IngestError, the Err* sentinels); a single
+// discarded return value or an fmt.Errorf that stringifies instead of
+// wrapping breaks errors.Is classification and hides data loss from the
+// recovery policies.
+//
+// Scope: internal/wlog, internal/core, and the cmd/ binaries. Rules:
+//
+//   - A call whose last result is an error must not appear as a bare
+//     expression statement, nor directly under defer or go. Assigning the
+//     error to _ is the explicit, greppable way to discard one.
+//   - Exempt: fmt.Print/Printf/Println, and fmt.Fprint* writing to a
+//     *os.File, *strings.Builder, or *bytes.Buffer (CLI/stderr output is
+//     best-effort; Builder and Buffer writes cannot fail). Writes to an
+//     abstract io.Writer must be checked — the writer may be a file or
+//     socket.
+//   - fmt.Errorf with an error-typed argument must use %w, so sentinels
+//     stay visible to errors.Is/errors.As.
+package errlost
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// Analyzer returns the errlost pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errlost",
+		Doc:  "forbids discarded error returns and sentinel wrapping without %w on ingest/mining paths",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, s.Call, "defer ")
+			case *ast.GoStmt:
+				checkDiscard(pass, s.Call, "go ")
+			case *ast.CallExpr:
+				checkErrorf(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope limits the pass to ingest/mining packages and the CLI binaries.
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/wlog") ||
+		strings.Contains(path, "internal/core") ||
+		strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/cmd/")
+}
+
+// checkDiscard reports calls whose trailing error result is dropped.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if !returnsError(pass, call) || exempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s discards its error result; handle it or assign it to _ explicitly",
+		how, calleeName(call))
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && analysis.IsErrorType(t.At(t.Len()-1).Type())
+	default:
+		return analysis.IsErrorType(t)
+	}
+}
+
+// exempt recognizes the best-effort output calls the pass tolerates.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := analysis.CalleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	name := obj.Name()
+	switch obj.Pkg().Path() {
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			return infallibleWriter(pass.TypesInfo.Types[call.Args[0]].Type)
+		}
+		return false
+	case "strings", "bytes":
+		// Builder and Buffer Write* methods always return a nil error.
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return infallibleWriter(sig.Recv().Type())
+		}
+	}
+	return false
+}
+
+// infallibleWriter recognizes writers whose Write cannot fail, plus
+// process-std streams where write errors are conventionally best-effort.
+func infallibleWriter(t types.Type) bool {
+	return analysis.IsNamedType(t, "strings", "Builder") ||
+		analysis.IsNamedType(t, "bytes", "Buffer") ||
+		analysis.IsNamedType(t, "os", "File")
+}
+
+// checkErrorf reports fmt.Errorf calls that pass an error argument without
+// a %w verb in a constant format string.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.CalleeObj(pass.TypesInfo, call)
+	if !analysis.IsPkgFunc(obj, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := pass.TypesInfo.Types[arg].Type; t != nil && analysis.IsErrorType(t) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf stringifies an error argument without %%w; use %%w so errors.Is still matches the sentinel")
+			return
+		}
+	}
+}
+
+// calleeName renders the callee for messages.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,19 @@
+package errlost_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/errlost"
+)
+
+func TestErrLost(t *testing.T) {
+	analysistest.Run(t, "testdata", errlost.Analyzer(), "a")
+}
+
+// TestErrLostScope proves the pass only polices ingest/mining packages: the
+// same discard that fires in fixture a is clean when the package path falls
+// outside the scope list.
+func TestErrLostScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", errlost.Analyzer(), "b")
+}

@@ -1,0 +1,66 @@
+// Package a exercises the errlost pass: no silently dropped error results,
+// and fmt.Errorf must wrap error arguments with %w.
+package a
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// drop exercises the three discard positions.
+func drop() {
+	mayFail()       // want "mayFail discards its error result"
+	defer mayFail() // want "defer mayFail discards its error result"
+	go mayFail()    // want "go mayFail discards its error result"
+}
+
+// explicit discards and handled errors are fine.
+func handled() {
+	_ = mayFail()
+	if err := mayFail(); err != nil {
+		panic(err)
+	}
+}
+
+// output exercises the best-effort writer exemptions: Print family, files,
+// and infallible in-memory writers are tolerated; an abstract io.Writer may
+// be a socket, so its error must be handled.
+func output(w io.Writer, f *os.File, b *strings.Builder) {
+	fmt.Println("ok")
+	fmt.Fprintln(f, "ok")
+	fmt.Fprintln(b, "ok")
+	b.WriteString("ok")
+	fmt.Fprintln(w, "ok") // want "fmt.Fprintln discards its error result"
+}
+
+// wrap stringifies the error, severing it from errors.Is.
+func wrap(err error) error {
+	return fmt.Errorf("mining failed: %v", err) // want "without %w"
+}
+
+// wrapOK keeps the chain intact.
+func wrapOK(err error) error {
+	return fmt.Errorf("mining failed: %w", err)
+}
+
+// suppressedNarrow demonstrates the per-pass escape hatch.
+func suppressedNarrow() {
+	//lint:ignore procmine/errlost fixture proves the escape hatch works
+	mayFail()
+}
+
+// suppressedBroad demonstrates the suite-wide directive on the same line.
+func suppressedBroad() {
+	mayFail() //lint:ignore procmine fixture proves same-line directives work
+}
+
+// noReason carries a directive without the mandatory reason, so the finding
+// still fires.
+func noReason() {
+	//lint:ignore procmine/errlost
+	mayFail() // want "mayFail discards its error result"
+}

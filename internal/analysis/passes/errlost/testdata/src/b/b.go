@@ -1,0 +1,10 @@
+// Package b proves errlost's package-path scoping: outside internal/wlog,
+// internal/core, and cmd/ (and without ForceScope), discarded errors are the
+// other passes' or the reviewer's problem, not this suite's.
+package b
+
+func mayFail() error { return nil }
+
+func drop() {
+	mayFail()
+}

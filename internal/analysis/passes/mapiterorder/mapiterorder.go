@@ -1,0 +1,363 @@
+// Package mapiterorder flags `for range` loops over maps in
+// output-producing functions. Go randomizes map iteration order, so a map
+// loop on a serialization path makes mined models serialize differently
+// across runs, silently breaking golden tests and the dependency-
+// completeness comparisons the paper's conformality guarantees rest on
+// (Definitions 4-6).
+//
+// A function is output-producing when iteration order can escape it
+// textually: it has an io.Writer, *strings.Builder, or *bytes.Buffer
+// parameter or receiver; it returns string or []byte; or its name starts
+// with a serialization prefix (Write, Render, Format, Report, Dot, String,
+// Serialize, Marshal, Encode, Print). Algorithmic code whose results are
+// sets, counts, or sorted by accessors is deliberately out of scope — the
+// end-to-end determinism regression test covers it.
+//
+// Within scope, a map loop is allowed only when its body is verifiably
+// order-insensitive:
+//
+//   - it performs only commutative accumulation: writes through map
+//     indices, delete, ++/--, and numeric compound assignment; or
+//   - it collects keys or values into local slices that are sorted later
+//     in the same function (an argument of a sort.*/slices.* call, or of
+//     any function whose name contains "sort").
+//
+// Everything else — printing inside the loop, building strings, early
+// returns — is reported. The fix is to collect-and-sort or to iterate an
+// ordered snapshot (g.Vertices(), g.Edges(), a topological order).
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// Analyzer returns the mapiterorder pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "mapiterorder",
+		Doc:  "flags map iteration whose nondeterministic order can reach serialized output",
+		Run:  run,
+	}
+}
+
+// outputPrefixes lists function-name prefixes that produce serialized
+// output.
+func outputPrefixes() []string {
+	return []string{
+		"Write", "Render", "Format", "Report", "Dot", "String",
+		"Serialize", "Marshal", "Encode", "Print",
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !outputFunc(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// outputFunc reports whether fn can leak iteration order: writer-ish
+// parameter or receiver, ordered result type, or serialization name.
+func outputFunc(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	for _, p := range outputPrefixes() {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	sig, ok := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && writerType(recv.Type()) {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if writerType(params.At(i).Type()) {
+			return true
+		}
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+			return true
+		}
+		if slice, ok := t.Underlying().(*types.Slice); ok {
+			if b, ok := slice.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writerType recognizes io.Writer, *strings.Builder, and *bytes.Buffer.
+func writerType(t types.Type) bool {
+	return analysis.IsNamedType(t, "io", "Writer") ||
+		analysis.IsNamedType(t, "strings", "Builder") ||
+		analysis.IsNamedType(t, "bytes", "Buffer")
+}
+
+// checkFunc reports every order-sensitive map loop in fn, including inside
+// nested function literals.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !analysis.IsMapType(pass.TypesInfo.Types[rs.X].Type) {
+			return true
+		}
+		if ok, why := orderInsensitive(pass, fn, rs); !ok {
+			pass.Reportf(rs.Pos(),
+				"iteration over map %s in output-producing function %s %s; collect and sort the keys first (or iterate an ordered snapshot)",
+				exprString(rs.X), fn.Name.Name, why)
+		}
+		return true
+	})
+}
+
+// orderInsensitive reports whether the loop body only performs commutative
+// accumulation or sorted-later collection, and if not, why.
+func orderInsensitive(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) (bool, string) {
+	// sortNeeded collects local slice variables appended to in the body;
+	// each must be sorted after the loop.
+	sortNeeded := make(map[types.Object]bool)
+	for _, stmt := range rs.Body.List {
+		if ok, why := allowedStmt(pass, stmt, sortNeeded); !ok {
+			return false, why
+		}
+	}
+	// Check (and, on failure, report) the collected slices in name order so
+	// the pass's own message never depends on map iteration order.
+	objs := make([]types.Object, 0, len(sortNeeded))
+	for obj := range sortNeeded {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Name() < objs[j].Name() })
+	for _, obj := range objs {
+		if !sortedAfter(pass, fn, rs, obj) {
+			return false, "appends to " + obj.Name() + " which is never sorted afterwards"
+		}
+	}
+	return true, ""
+}
+
+// allowedStmt validates one statement of a map-loop body as
+// order-insensitive, tracking appended-to slices in sortNeeded.
+func allowedStmt(pass *analysis.Pass, stmt ast.Stmt, sortNeeded map[types.Object]bool) (bool, string) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return allowedAssign(pass, s, sortNeeded)
+	case *ast.IncDecStmt:
+		return true, ""
+	case *ast.DeclStmt:
+		return true, ""
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true, ""
+			}
+		}
+		return false, "calls a function with side effects inside the loop"
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if ok, why := allowedStmt(pass, inner, sortNeeded); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	case *ast.IfStmt:
+		if ok, why := allowedStmt(pass, s.Body, sortNeeded); !ok {
+			return false, why
+		}
+		if s.Else != nil {
+			return allowedStmt(pass, s.Else, sortNeeded)
+		}
+		return true, ""
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, inner := range cc.Body {
+				if ok, why := allowedStmt(pass, inner, sortNeeded); !ok {
+					return false, why
+				}
+			}
+		}
+		return true, ""
+	case *ast.RangeStmt, *ast.ForStmt:
+		var body *ast.BlockStmt
+		if r, ok := s.(*ast.RangeStmt); ok {
+			body = r.Body
+		} else {
+			body = s.(*ast.ForStmt).Body
+		}
+		return allowedStmt(pass, body, sortNeeded)
+	case *ast.BranchStmt:
+		// continue/break do not leak order.
+		return true, ""
+	default:
+		return false, "has an order-sensitive loop body"
+	}
+}
+
+// allowedAssign validates an assignment inside a map loop: map-index
+// writes, numeric compound assignment, and appends to local slices
+// (recorded for the sorted-later check).
+func allowedAssign(pass *analysis.Pass, s *ast.AssignStmt, sortNeeded map[types.Object]bool) (bool, string) {
+	switch s.Tok {
+	case token.DEFINE:
+		// Variables declared by := are fresh each iteration, so order
+		// cannot escape through them directly; their uses are policed by
+		// the other statement rules. (An LHS ident that a multi-value :=
+		// merely re-assigns is not distinguished — an accepted
+		// imprecision.)
+		return true, ""
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			// m[k] = v with non-append RHS is commutative accumulation.
+			if idx, ok := lhs.(*ast.IndexExpr); ok && analysis.IsMapType(pass.TypesInfo.Types[idx.X].Type) {
+				if i < len(s.Rhs) && containsAppend(s.Rhs[i]) {
+					return false, "appends through a map index, so per-key order depends on iteration order"
+				}
+				continue
+			}
+			// x = append(x, ...) collection into a local slice.
+			if id, ok := lhs.(*ast.Ident); ok && i < len(s.Rhs) {
+				if call, ok := s.Rhs[i].(*ast.CallExpr); ok {
+					if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" {
+						obj := pass.TypesInfo.Uses[id]
+						if obj == nil {
+							obj = pass.TypesInfo.Defs[id]
+						}
+						if obj != nil {
+							sortNeeded[obj] = true
+							continue
+						}
+					}
+				}
+			}
+			return false, "assigns inside the loop in an order-sensitive way"
+		}
+		return true, ""
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only over numbers; += on strings is concatenation.
+		for _, lhs := range s.Lhs {
+			t := pass.TypesInfo.Types[lhs].Type
+			if t == nil {
+				return false, "assigns inside the loop in an order-sensitive way"
+			}
+			if basic, ok := t.Underlying().(*types.Basic); !ok || basic.Info()&types.IsNumeric == 0 {
+				return false, "accumulates non-numeric values whose result depends on order"
+			}
+		}
+		return true, ""
+	default:
+		return false, "assigns inside the loop in an order-sensitive way"
+	}
+}
+
+// containsAppend reports whether expr contains a call to the append
+// builtin.
+func containsAppend(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj appears as an argument of a sorting call
+// after the loop, anywhere in fn. Sorting calls are functions of the sort
+// and slices packages plus any callee whose name contains "sort" (which
+// admits local helpers like sortByLabel).
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !sortingCallee(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// sortingCallee recognizes sort.*/slices.* calls and callees whose name
+// mentions sort.
+func sortingCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+// exprString renders small expressions for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "value"
+	}
+}

@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/mapiterorder"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterorder.Analyzer(), "a")
+}

@@ -1,0 +1,89 @@
+// Package a exercises the mapiterorder pass: map loops in output-producing
+// functions must be verifiably order-insensitive.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCounts prints inside the loop: iteration order reaches the writer.
+func WriteCounts(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "iteration over map m in output-producing function WriteCounts"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// StringOfKeys collects into a slice but never sorts it.
+func StringOfKeys(m map[string]int) string {
+	var parts []string
+	for k := range m { // want "appends to parts which is never sorted afterwards"
+		parts = append(parts, k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// RenderKeys is the canonical fix: collect, sort, then serialize.
+func RenderKeys(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// FormatTotal only accumulates commutatively; order cannot escape.
+func FormatTotal(m map[string]int) string {
+	total := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return fmt.Sprint(total, len(seen))
+}
+
+// tally is not output-producing (no writer, no string result, plain name),
+// so even an order-sensitive body is out of scope.
+func tally(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k)
+	}
+}
+
+// WriteSuppressed demonstrates the narrow escape hatch.
+func WriteSuppressed(w io.Writer, m map[string]int) {
+	//lint:ignore procmine/mapiterorder fixture proves the escape hatch works
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteBroadSuppressed demonstrates the suite-wide directive.
+func WriteBroadSuppressed(w io.Writer, m map[string]int) {
+	//lint:ignore procmine fixture proves the broad directive works
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteWrongDirective carries a directive naming a different pass, so the
+// finding still fires.
+func WriteWrongDirective(w io.Writer, m map[string]int) {
+	//lint:ignore procmine/noglobals wrong pass name does not silence this
+	for k, v := range m { // want "iteration over map m in output-producing function WriteWrongDirective"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteNoReason carries a directive without the mandatory reason, so the
+// finding still fires.
+func WriteNoReason(w io.Writer, m map[string]int) {
+	//lint:ignore procmine/mapiterorder
+	for k, v := range m { // want "iteration over map m in output-producing function WriteNoReason"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

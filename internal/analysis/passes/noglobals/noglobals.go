@@ -1,0 +1,68 @@
+// Package noglobals forbids mutable package-level state in internal/
+// packages. Shared mutable globals are the one thing that prevents running
+// several mining pipelines in one process — the ROADMAP's sharded and
+// parallel mining directions assume any two Mine calls are independent —
+// and they make output depend on call history, undermining the determinism
+// the conformality checks rely on.
+//
+// Allowed package-level vars:
+//
+//   - error sentinels (static type error): immutable by convention and
+//     required for errors.Is;
+//   - the blank identifier (compile-time interface checks, `var _ I = T{}`).
+//
+// Everything else — caches, counters, config maps, even write-once lookup
+// tables — must move into a struct or become a function returning a fresh
+// value. The root procmine package (curated re-exports) and cmd/ binaries
+// are out of scope.
+package noglobals
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// Analyzer returns the noglobals pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "noglobals",
+		Doc:  "forbids mutable package-level state in internal/ packages",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.ForceScope && !strings.Contains(pass.Pkg.Path(), "internal/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if analysis.IsErrorType(obj.Type()) {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"package-level var %s is mutable shared state; move it into a struct or a function returning a fresh value (error sentinels are exempt)",
+						name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package noglobals_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/noglobals"
+)
+
+func TestNoGlobals(t *testing.T) {
+	analysistest.Run(t, "testdata", noglobals.Analyzer(), "a")
+}
+
+// TestNoGlobalsScope proves the pass is scoped to internal/ packages: the
+// same mutable var that fires in fixture a is clean outside that tree.
+func TestNoGlobalsScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", noglobals.Analyzer(), "b")
+}

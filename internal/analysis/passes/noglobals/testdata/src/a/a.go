@@ -1,0 +1,35 @@
+// Package a exercises the noglobals pass: no mutable package-level state in
+// library packages; error sentinels and blank-identifier checks are exempt.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is an error sentinel: exempt.
+var ErrNotFound = errors.New("not found")
+
+// Compile-time interface checks through the blank identifier are exempt.
+var _ fmt.Stringer = named{}
+
+type named struct{}
+
+func (named) String() string { return "named" }
+
+var cache = map[string]int{} // want "package-level var cache is mutable shared state"
+
+var hitCount, missCount int // want "package-level var hitCount is mutable shared state" "package-level var missCount is mutable shared state"
+
+// Constants are not state.
+const limit = 64
+
+//lint:ignore procmine/noglobals fixture proves the escape hatch works
+var legacyTable = []string{"x"}
+
+//lint:ignore procmine/ctxflow wrong pass name does not silence this
+var leaked = []int{1} // want "package-level var leaked is mutable shared state"
+
+func use() (int, int, int, int) {
+	return cache["x"] + limit, hitCount, missCount, len(legacyTable) + len(leaked)
+}

@@ -1,0 +1,8 @@
+// Package b proves noglobals' package-path scoping: outside internal/ (and
+// without ForceScope), package-level vars are allowed — cmd/ binaries own
+// their process-wide state.
+package b
+
+var flags = map[string]bool{}
+
+func use() int { return len(flags) }

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		ok       bool
+		analyzer string
+	}{
+		{"//lint:ignore procmine reviewed: output is a debug dump", true, ""},
+		{"//lint:ignore procmine/errlost best-effort stderr write", true, "errlost"},
+		{"//lint:ignore procmine/mapiterorder keys are pre-sorted upstream", true, "mapiterorder"},
+		// Reason is mandatory.
+		{"//lint:ignore procmine", false, ""},
+		{"//lint:ignore procmine/errlost", false, ""},
+		// Other tools' directives are not ours to honor.
+		{"//lint:ignore staticcheck some reason", false, ""},
+		{"//lint:ignore procmine/ empty analyzer name", false, ""},
+		{"// lint:ignore procmine spaced prefix is not a directive", false, ""},
+		{"//nolint:errlost wrong vocabulary", false, ""},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if ok && d.analyzer != c.analyzer {
+			t.Errorf("parseDirective(%q) analyzer = %q, want %q", c.text, d.analyzer, c.analyzer)
+		}
+	}
+}
+
+func TestSuppressesLinePlacement(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore procmine/demo directive above
+	g()
+	g() //lint:ignore procmine/demo directive same line
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+
+	diagAt := func(line int, analyzer string) Diagnostic {
+		// Synthesize a position on the requested line of p.go.
+		tf := fset.File(f.Pos())
+		return Diagnostic{Pos: tf.LineStart(line), Analyzer: analyzer}
+	}
+	if !sup.Suppresses(fset, diagAt(5, "demo")) {
+		t.Error("directive on the line above should suppress line 5")
+	}
+	if !sup.Suppresses(fset, diagAt(6, "demo")) {
+		t.Error("same-line directive should suppress line 6")
+	}
+	if sup.Suppresses(fset, diagAt(7, "demo")) {
+		t.Error("line 7 has no directive on it or above; must not be suppressed")
+	}
+	if sup.Suppresses(fset, diagAt(5, "other")) {
+		t.Error("a procmine/demo directive must not silence the other pass")
+	}
+}

@@ -1,0 +1,190 @@
+// Package vetcfg implements the cmd/go unit-checker protocol so
+// procmine-vet can run under `go vet -vettool=...`: the go command invokes
+// the tool once per package with a JSON config file describing the
+// package's sources and the export data of its dependencies. This is a
+// dependency-free analogue of golang.org/x/tools/go/analysis/unitchecker.
+package vetcfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"procmine/internal/analysis"
+)
+
+// config is the subset of cmd/go's vet config the runner consumes.
+type config struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic mirrors the vet JSON diagnostic schema.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Run executes the suite over the single package described by cfgFile.
+// With jsonOut the diagnostics are emitted as vet-style JSON on stdout and
+// the exit code is 0; otherwise diagnostics print plain to stderr and a
+// non-empty set yields exit code 2, matching the upstream unitchecker.
+func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "procmine-vet:", err)
+		return 1
+	}
+	// The suite computes no cross-package facts, but cmd/go expects the
+	// facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "procmine-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "procmine-vet:", err)
+		return 1
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "procmine-vet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// The suite's invariants concern production code; cmd/go also hands us
+	// test-augmented units (pkg [pkg.test]), whose _test.go files are parsed
+	// for type-checking but not analyzed, matching the standalone driver.
+	analyzed := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			analyzed = append(analyzed, f)
+		}
+	}
+
+	byAnalyzer := make(map[string][]analysis.Diagnostic)
+	var order []string
+	for _, a := range analyzers {
+		pass := &analysis.Pass{Fset: fset, Files: analyzed, Pkg: pkg, TypesInfo: info}
+		diags, err := analysis.Run(a, pass)
+		if err != nil {
+			fmt.Fprintf(stderr, "procmine-vet: %s: %v\n", cfg.ImportPath, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			byAnalyzer[a.Name] = diags
+			order = append(order, a.Name)
+		}
+	}
+	sort.Strings(order)
+
+	if jsonOut {
+		out := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: {}}
+		for _, name := range order {
+			for _, d := range byAnalyzer[name] {
+				out[cfg.ImportPath][name] = append(out[cfg.ImportPath][name], jsonDiagnostic{
+					Posn:    fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+			}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "procmine-vet:", err)
+			return 1
+		}
+		return 0
+	}
+	total := 0
+	for _, name := range order {
+		for _, d := range byAnalyzer[name] {
+			fmt.Fprintf(stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, name)
+			total++
+		}
+	}
+	if total > 0 {
+		return 2
+	}
+	return 0
+}
+
+// readConfig loads and validates the vet config file.
+func readConfig(path string) (*config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("vet config %s has no import path", path)
+	}
+	return cfg, nil
+}
+
+// parseFiles parses the package's Go sources with comments.
+func parseFiles(fset *token.FileSet, cfg *config) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

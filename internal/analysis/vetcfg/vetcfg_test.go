@@ -1,0 +1,143 @@
+package vetcfg_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/passes/errlost"
+	"procmine/internal/analysis/vetcfg"
+)
+
+// writeUnit lays out a single-file package plus its vet config, mimicking
+// what cmd/go hands a vettool. The fixture imports nothing so the importer
+// lookup is never consulted.
+func writeUnit(t *testing.T, src string, extra map[string]any) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "demo.vetx")
+	cfg := map[string]any{
+		"ID":         "cmd/demo",
+		"Dir":        dir,
+		"ImportPath": "cmd/demo",
+		"GoFiles":    []string{goFile},
+		"VetxOutput": vetxPath,
+	}
+	for k, v := range extra {
+		cfg[k] = v
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "demo.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+const dirtySrc = `package demo
+
+func mayFail() error { return nil }
+
+func drop() { mayFail() }
+`
+
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{errlost.Analyzer()}
+}
+
+func TestRunPlainReportsFindings(t *testing.T) {
+	cfgPath, vetxPath := writeUnit(t, dirtySrc, nil)
+	var stdout, stderr strings.Builder
+	code := vetcfg.Run(cfgPath, suite(), false, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (plain mode with findings); stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "mayFail discards its error result") {
+		t.Errorf("stderr missing finding: %s", stderr.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunJSONReportsFindings(t *testing.T) {
+	cfgPath, _ := writeUnit(t, dirtySrc, nil)
+	var stdout, stderr strings.Builder
+	code := vetcfg.Run(cfgPath, suite(), true, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (JSON mode); stderr: %s", code, stderr.String())
+	}
+	var out map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &out); err != nil {
+		t.Fatalf("stdout is not vet JSON: %v\n%s", err, stdout.String())
+	}
+	diags := out["cmd/demo"]["errlost"]
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "discards its error result") {
+		t.Errorf("unexpected JSON diagnostics: %#v", out)
+	}
+}
+
+func TestRunSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "demo_test.go")
+	if err := os.WriteFile(goFile, []byte(dirtySrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "demo.cfg")
+	cfg := map[string]any{
+		"ID":         "cmd/demo",
+		"Dir":        dir,
+		"ImportPath": "cmd/demo",
+		"GoFiles":    []string{goFile},
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := vetcfg.Run(cfgPath, suite(), false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (test files are not analyzed); stderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunVetxOnly(t *testing.T) {
+	cfgPath, vetxPath := writeUnit(t, dirtySrc, map[string]any{"VetxOnly": true})
+	var stdout, stderr strings.Builder
+	code := vetcfg.Run(cfgPath, suite(), false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (VetxOnly); stderr: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("facts file not written in VetxOnly mode: %v", err)
+	}
+}
+
+func TestRunSucceedOnTypecheckFailure(t *testing.T) {
+	broken := "package demo\n\nfunc f() { undefined() }\n"
+	cfgPath, _ := writeUnit(t, broken, map[string]any{"SucceedOnTypecheckFailure": true})
+	var stdout, stderr strings.Builder
+	if code := vetcfg.Run(cfgPath, suite(), false, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (SucceedOnTypecheckFailure); stderr: %s", code, stderr.String())
+	}
+	cfgPath, _ = writeUnit(t, broken, nil)
+	if code := vetcfg.Run(cfgPath, suite(), false, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (type error without the escape flag)", code)
+	}
+}

@@ -37,10 +37,20 @@ type Diagnostics struct {
 // repeats activities, Algorithm 2 otherwise) and reports the stage funnel
 // alongside the mined graph.
 func MineWithDiagnostics(l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics, error) {
+	return MineWithDiagnosticsContext(context.Background(), l, opt)
+}
+
+// MineWithDiagnosticsContext is MineWithDiagnostics under cancellation: ctx
+// is checked while scanning executions and by the marking pass, so tracing
+// a mine on a huge log can be abandoned promptly.
+func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics, error) {
 	diag := &Diagnostics{Executions: l.Len()}
 
 	work := l
 	for _, e := range l.Executions {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		seen := map[string]bool{}
 		for _, s := range e.Steps {
 			if seen[s.Activity] {
@@ -102,7 +112,7 @@ func MineWithDiagnostics(l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics
 	afterStep4 := g.NumEdges()
 	_ = afterSteps13
 
-	marked, err := markRequiredEdges(context.Background(), g, work)
+	marked, err := markRequiredEdges(ctx, g, work)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -132,17 +142,24 @@ func (d *Diagnostics) WriteReport(w io.Writer) error {
 	if d.Labeled {
 		mode = "cyclic (Algorithm 3, instance-labeled)"
 	}
-	fmt.Fprintf(w, "pipeline: %s\n", mode)
-	fmt.Fprintf(w, "input:    %d executions, %d activities\n", d.Executions, d.Activities)
-	fmt.Fprintf(w, "step 2:   %d distinct ordered pairs\n", d.OrderedPairs)
-	fmt.Fprintf(w, "step 3:   -%d below threshold, -%d two-cycle cancelled, -%d overlap cancelled\n",
-		d.BelowThreshold, d.TwoCycleRemoved, d.OverlapRemoved)
-	fmt.Fprintf(w, "step 4:   -%d intra-SCC edges", d.IntraSCCRemoved)
+	clusters := ""
 	if len(d.SCCs) > 0 {
-		fmt.Fprintf(w, " (independence clusters: %v)", d.SCCs)
+		clusters = fmt.Sprintf(" (independence clusters: %v)", d.SCCs)
 	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "step 5-6: -%d unmarked edges\n", d.UnmarkedRemoved)
-	fmt.Fprintf(w, "result:   %d edges\n", d.FinalEdges)
+	lines := []string{
+		fmt.Sprintf("pipeline: %s\n", mode),
+		fmt.Sprintf("input:    %d executions, %d activities\n", d.Executions, d.Activities),
+		fmt.Sprintf("step 2:   %d distinct ordered pairs\n", d.OrderedPairs),
+		fmt.Sprintf("step 3:   -%d below threshold, -%d two-cycle cancelled, -%d overlap cancelled\n",
+			d.BelowThreshold, d.TwoCycleRemoved, d.OverlapRemoved),
+		fmt.Sprintf("step 4:   -%d intra-SCC edges%s\n", d.IntraSCCRemoved, clusters),
+		fmt.Sprintf("step 5-6: -%d unmarked edges\n", d.UnmarkedRemoved),
+		fmt.Sprintf("result:   %d edges\n", d.FinalEdges),
+	}
+	for _, line := range lines {
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
 	return nil
 }

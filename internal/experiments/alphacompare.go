@@ -23,7 +23,7 @@ type AlphaCompareConfig struct {
 
 func (c AlphaCompareConfig) withDefaults() AlphaCompareConfig {
 	if c.Executions == nil {
-		c.Executions = flowmark.PaperExecutions
+		c.Executions = flowmark.PaperExecutions()
 	}
 	if c.Seed == 0 {
 		c.Seed = 1998
@@ -59,7 +59,7 @@ func RunAlphaCompare(cfg AlphaCompareConfig) (*AlphaCompareResult, error) {
 		}
 		m := cfg.Executions[name]
 		if m == 0 {
-			m = flowmark.PaperExecutions[name]
+			m = flowmark.PaperExecutions()[name]
 		}
 		eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {

@@ -26,7 +26,7 @@ func (c FlowmarkConfig) withDefaults() FlowmarkConfig {
 		c.Seed = 1998
 	}
 	if c.Executions == nil {
-		c.Executions = flowmark.PaperExecutions
+		c.Executions = flowmark.PaperExecutions()
 	}
 	return c
 }
@@ -63,7 +63,7 @@ func RunFlowmark(cfg FlowmarkConfig) (*FlowmarkResult, error) {
 		}
 		m := cfg.Executions[name]
 		if m == 0 {
-			m = flowmark.PaperExecutions[name]
+			m = flowmark.PaperExecutions()[name]
 		}
 		eng, err := flowmark.NewEngine(p, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {

@@ -90,7 +90,7 @@ func RunOpenProblem(seed int64) (*OpenProblemResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		l, err := eng.GenerateLog("op_", flowmark.PaperExecutions[name], 0)
+		l, err := eng.GenerateLog("op_", flowmark.PaperExecutions()[name], 0)
 		if err != nil {
 			return nil, err
 		}

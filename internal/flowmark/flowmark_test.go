@@ -287,7 +287,7 @@ func TestTable3Recovery(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		l, err := e.GenerateLog("t3_", PaperExecutions[name], 0)
+		l, err := e.GenerateLog("t3_", PaperExecutions()[name], 0)
 		if err != nil {
 			t.Fatalf("%s: GenerateLog: %v", name, err)
 		}

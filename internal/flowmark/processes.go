@@ -26,13 +26,16 @@ import (
 // algorithm was able to recover the underlying process").
 
 // PaperExecutions maps each Table 3 process name to the number of executions
-// in the paper's log.
-var PaperExecutions = map[string]int{
-	"Upload_and_Notify": 134,
-	"StressSleep":       160,
-	"Pend_Block":        121,
-	"Local_Swap":        24,
-	"UWI_Pilot":         134,
+// in the paper's log. It returns a fresh map on every call, so callers may
+// mutate their copy freely.
+func PaperExecutions() map[string]int {
+	return map[string]int{
+		"Upload_and_Notify": 134,
+		"StressSleep":       160,
+		"Pend_Block":        121,
+		"Local_Swap":        24,
+		"UWI_Pilot":         134,
+	}
 }
 
 // Processes returns the five Table 3 process replicas keyed by name.
@@ -48,8 +51,9 @@ func Processes() map[string]*model.Process {
 
 // ProcessNames returns the Table 3 process names in sorted order.
 func ProcessNames() []string {
-	names := make([]string, 0, len(PaperExecutions))
-	for n := range PaperExecutions {
+	pe := PaperExecutions()
+	names := make([]string, 0, len(pe))
+	for n := range pe {
 		names = append(names, n)
 	}
 	sort.Strings(names)

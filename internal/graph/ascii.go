@@ -44,8 +44,11 @@ func (g *Digraph) WriteLayers(w io.Writer) error {
 			maxLayer = l
 		}
 	}
+	// Bucket by layer following the (deterministic) topological order, not
+	// the layer map, so rendering never depends on map iteration order.
 	byLayer := make([][]string, maxLayer+1)
-	for v, l := range layer {
+	for _, v := range order {
+		l := layer[v]
 		byLayer[l] = append(byLayer[l], v)
 	}
 	for l, vs := range byLayer {

@@ -105,8 +105,15 @@ func kTailSignature(m *FSM, s, k int) string {
 		if depth == k {
 			return
 		}
-		for a, next := range m.Delta[state] {
-			walk(next, append(prefix, a), depth+1)
+		// Walk transitions in sorted label order: the DFS itself is then
+		// deterministic, not just the sorted result.
+		labels := make([]string, 0, len(m.Delta[state]))
+		for a := range m.Delta[state] {
+			labels = append(labels, a)
+		}
+		sort.Strings(labels)
+		for _, a := range labels {
+			walk(m.Delta[state][a], append(prefix, a), depth+1)
 		}
 	}
 	walk(s, nil, 0)

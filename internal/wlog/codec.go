@@ -59,13 +59,15 @@ func ReadTextWith(r io.Reader, opts IngestOptions, rep *IngestReport) ([]Event, 
 }
 
 // csvHeader is the fixed column set of the CSV codec.
-var csvHeader = []string{"process", "activity", "type", "time_unix_nanos", "output"}
+func csvHeader() []string {
+	return []string{"process", "activity", "type", "time_unix_nanos", "output"}
+}
 
 // WriteCSV writes events as CSV with a header row. The output vector is
 // encoded as semicolon-joined integers in the final column.
 func WriteCSV(w io.Writer, events []Event) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(csvHeader()); err != nil {
 		return err
 	}
 	for _, ev := range events {

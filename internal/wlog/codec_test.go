@@ -119,7 +119,7 @@ func TestCSVHeaderValidation(t *testing.T) {
 }
 
 func TestCSVBadRows(t *testing.T) {
-	head := strings.Join(csvHeader, ",") + "\n"
+	head := strings.Join(csvHeader(), ",") + "\n"
 	cases := []string{
 		head + "p,A,WRONG,1,\n",
 		head + "p,A,START,xx,\n",

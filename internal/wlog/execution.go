@@ -154,18 +154,21 @@ func (l *Log) Events() []Event {
 }
 
 // baseTime anchors synthetic timestamps produced by the sequence helpers.
-var baseTime = time.Date(1998, time.January, 22, 0, 0, 0, 0, time.UTC)
+func baseTime() time.Time {
+	return time.Date(1998, time.January, 22, 0, 0, 0, 0, time.UTC)
+}
 
 // FromSequence builds an instantaneous-activity execution from an ordered
 // list of activity names: step i starts at base+2i and ends at base+2i+1
 // (units of one millisecond), so no two steps overlap and order is total.
 func FromSequence(id string, activities ...string) Execution {
+	base := baseTime()
 	steps := make([]Step, len(activities))
 	for i, a := range activities {
 		steps[i] = Step{
 			Activity: a,
-			Start:    baseTime.Add(time.Duration(2*i) * time.Millisecond),
-			End:      baseTime.Add(time.Duration(2*i+1) * time.Millisecond),
+			Start:    base.Add(time.Duration(2*i) * time.Millisecond),
+			End:      base.Add(time.Duration(2*i+1) * time.Millisecond),
 		}
 	}
 	return Execution{ID: id, Steps: steps}

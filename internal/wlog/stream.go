@@ -372,13 +372,14 @@ func StreamCSV(r io.Reader, fn func(Event) error) error {
 // fatal: with no recognizable schema nothing downstream can recover.
 func StreamCSVWith(r io.Reader, opts IngestOptions, rep *IngestReport, fn func(Event) error) (*IngestReport, error) {
 	rep = ensureReport(rep, opts)
+	want := csvHeader()
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
+	cr.FieldsPerRecord = len(want)
 	header, err := cr.Read()
 	if err != nil {
 		return rep, fmt.Errorf("wlog: reading CSV header: %w", err)
 	}
-	for i, h := range csvHeader {
+	for i, h := range want {
 		if header[i] != h {
 			return rep, fmt.Errorf("wlog: CSV header column %d is %q, want %q", i, header[i], h)
 		}
