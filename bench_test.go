@@ -273,7 +273,11 @@ func BenchmarkAblationMarkingOverhead(b *testing.B) {
 	_, l := syntheticLog(b, 50, 1000)
 	b.Run("steps1to4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = core.ComputeDependencies(l, core.Options{}).Graph()
+			rel, err := core.ComputeDependencies(l, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rel.Graph()
 		}
 	})
 	b.Run("full", func(b *testing.B) {
@@ -300,6 +304,27 @@ func BenchmarkAblationFollowsAccumulation(b *testing.B) {
 			_ = core.FollowsCounts(l)
 		}
 	})
+}
+
+// BenchmarkAblationParallelFollows compares the sequential step-2 scan
+// against the sharded scan at forced worker counts on the largest Table 1
+// workload (the cell the ISSUE acceptance pins). cmd/benchreport records the
+// same ablation into BENCH_mine.json; run here with -benchmem to inspect the
+// per-worker allocation cost of the private dense accumulators.
+func BenchmarkAblationParallelFollows(b *testing.B) {
+	_, l := syntheticLog(b, 100, 10000)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.FollowsCountsSequential(l)
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel/w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.FollowsCountsParallel(l, w)
+			}
+		})
+	}
 }
 
 // BenchmarkLogCodecs measures the three codecs on the same log.

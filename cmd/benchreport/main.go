@@ -1,0 +1,202 @@
+// Command benchreport regenerates the repository's bench trajectory: it runs
+// the Table 1 mining sweep (n ∈ {10, 25, 50, 100} × m ∈ {100, 1000, 10000})
+// and the parallel follows-scan ablation on the largest workload, and writes
+// the measurements to a JSON artifact (BENCH_mine.json) so successive
+// commits can be compared machine-to-machine with full context (Go version,
+// GOMAXPROCS, CPU count) attached.
+//
+// Usage:
+//
+//	benchreport [-short] [-out BENCH_mine.json]
+//
+// -short skips the m=10000 mining cells (the paper's largest workloads) but
+// keeps the n=100/m=10000 scan ablation, which is the acceptance cell for
+// the sharded scan. CI runs the short sweep on every push and uploads the
+// artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"procmine/internal/core"
+	"procmine/internal/synth"
+	"procmine/internal/wlog"
+)
+
+// mineCell is one Table 1 measurement: mining an m-execution log of an
+// n-activity process with Algorithm 2.
+type mineCell struct {
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// scanCell is one follows-scan ablation measurement: the sequential step-2
+// scan against the sharded scan at a forced worker count on the same log.
+type scanCell struct {
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	Workers      int     `json:"workers"`
+	SequentialNs float64 `json:"sequential_ns_per_op"`
+	ParallelNs   float64 `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// report is the BENCH_mine.json schema.
+type report struct {
+	Schema      string     `json:"schema"`
+	GoVersion   string     `json:"go_version"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	Short       bool       `json:"short"`
+	Table1Mine  []mineCell `json:"table1_mine"`
+	FollowsScan []scanCell `json:"follows_scan"`
+}
+
+// config parameterizes a run.
+type config struct {
+	short bool
+}
+
+// measureFunc runs one benchmark body; tests stub it to keep the command's
+// control flow testable without paying for real measurements.
+type measureFunc func(body func(b *testing.B)) testing.BenchmarkResult
+
+// syntheticLog builds one Table 1 workload exactly like bench_test.go does:
+// a random n-vertex DAG at the paper's edge density and m simulated
+// executions, seeded deterministically from (n, m).
+func syntheticLog(n, m int) (*wlog.Log, error) {
+	rng := rand.New(rand.NewSource(int64(n)*100003 + int64(m)))
+	g := synth.RandomDAG(rng, n, synth.PaperEdgeProb(n))
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: building simulator (n=%d): %w", n, err)
+	}
+	return sim.GenerateLog("b_", m), nil
+}
+
+// run executes the sweep and assembles the report.
+func run(cfg config, measure measureFunc) (*report, error) {
+	rep := &report{
+		Schema:     "procmine-bench-trajectory/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      cfg.short,
+	}
+
+	ms := []int{100, 1000, 10000}
+	if cfg.short {
+		ms = []int{100, 1000}
+	}
+	for _, n := range []int{10, 25, 50, 100} {
+		for _, m := range ms {
+			l, err := syntheticLog(n, m)
+			if err != nil {
+				return nil, err
+			}
+			var mineErr error
+			res := measure(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MineGeneralDAG(l, core.Options{}); err != nil {
+						mineErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if mineErr != nil {
+				return nil, fmt.Errorf("benchreport: mining n=%d m=%d: %w", n, m, mineErr)
+			}
+			rep.Table1Mine = append(rep.Table1Mine, mineCell{
+				N: n, M: m,
+				NsPerOp:     float64(res.NsPerOp()),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			})
+		}
+	}
+
+	// The scan ablation always runs on the acceptance cell (n=100, m=10000),
+	// even under -short: it measures only the step-2 scan, not a full mine.
+	const scanN, scanM = 100, 10000
+	l, err := syntheticLog(scanN, scanM)
+	if err != nil {
+		return nil, err
+	}
+	seq := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.FollowsCountsSequential(l)
+		}
+	})
+	seqNs := float64(seq.NsPerOp())
+	for _, workers := range []int{2, 4, 8} {
+		w := workers
+		res := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.FollowsCountsParallel(l, w)
+			}
+		})
+		parNs := float64(res.NsPerOp())
+		speedup := 0.0
+		if parNs > 0 {
+			speedup = seqNs / parNs
+		}
+		rep.FollowsScan = append(rep.FollowsScan, scanCell{
+			N: scanN, M: scanM, Workers: w,
+			SequentialNs: seqNs,
+			ParallelNs:   parNs,
+			Speedup:      speedup,
+		})
+	}
+	return rep, nil
+}
+
+// writeReport renders the report as indented JSON.
+func writeReport(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreport: encoding report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchreport: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// cli parses flags, runs the sweep with real measurements, and writes the
+// artifact.
+func cli(args []string) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_mine.json", "path of the JSON artifact to write")
+	short := fs.Bool("short", false, "skip the m=10000 mining cells (keeps the scan ablation)")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("benchreport: parsing flags: %w", err)
+	}
+	rep, err := run(config{short: *short}, testing.Benchmark)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(*out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("benchreport: wrote %s (%d mine cells, %d scan cells, GOMAXPROCS=%d)\n",
+		*out, len(rep.Table1Mine), len(rep.FollowsScan), rep.GOMAXPROCS)
+	return nil
+}
+
+func main() {
+	if err := cli(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// stubMeasure returns a fixed result without timing anything, so the
+// sweep's control flow and report assembly run in test time. The body is
+// invoked with a zero b.N, so the workload loop itself does not execute
+// (mining correctness is covered by the core package's own tests).
+func stubMeasure(body func(b *testing.B)) testing.BenchmarkResult {
+	var b testing.B
+	body(&b)
+	return testing.BenchmarkResult{N: 1, T: 2 * time.Millisecond}
+}
+
+func TestRunShortSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep generates the n=100/m=10000 log; skip under -short")
+	}
+	rep, err := run(config{short: true}, stubMeasure)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Schema != "procmine-bench-trajectory/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	// 4 n-values × 2 m-values under -short.
+	if len(rep.Table1Mine) != 8 {
+		t.Fatalf("short sweep has %d mine cells, want 8", len(rep.Table1Mine))
+	}
+	for _, c := range rep.Table1Mine {
+		if c.M == 10000 {
+			t.Fatalf("short sweep contains an m=10000 mine cell: %+v", c)
+		}
+	}
+	// The acceptance cell must survive -short: n=100/m=10000 scan ablation
+	// at workers 2, 4, 8.
+	if len(rep.FollowsScan) != 3 {
+		t.Fatalf("scan ablation has %d cells, want 3", len(rep.FollowsScan))
+	}
+	wantWorkers := []int{2, 4, 8}
+	for i, c := range rep.FollowsScan {
+		if c.N != 100 || c.M != 10000 || c.Workers != wantWorkers[i] {
+			t.Fatalf("scan cell %d = %+v, want n=100 m=10000 workers=%d", i, c, wantWorkers[i])
+		}
+	}
+}
+
+func TestWriteReportRoundTrip(t *testing.T) {
+	rep := &report{
+		Schema:     "procmine-bench-trajectory/v1",
+		GoVersion:  "go-test",
+		GOMAXPROCS: 4,
+		NumCPU:     4,
+		Short:      true,
+		Table1Mine: []mineCell{{N: 10, M: 100, NsPerOp: 123}},
+		FollowsScan: []scanCell{{
+			N: 100, M: 10000, Workers: 4,
+			SequentialNs: 200, ParallelNs: 100, Speedup: 2,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_mine.json")
+	if err := writeReport(path, rep); err != nil {
+		t.Fatalf("writeReport: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Schema != rep.Schema || len(back.Table1Mine) != 1 || len(back.FollowsScan) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.FollowsScan[0].Speedup != 2 {
+		t.Fatalf("speedup lost in round trip: %+v", back.FollowsScan[0])
+	}
+}

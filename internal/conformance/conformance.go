@@ -108,17 +108,25 @@ type Report struct {
 	// InconsistentExecutions maps execution IDs to their consistency
 	// violation (execution completeness failures).
 	InconsistentExecutions map[string]error
+	// OptionsError records invalid mining options (e.g. an out-of-range
+	// core.Options.AdaptiveEpsilon) that prevented computing the dependency
+	// relation. When set, no dependency or execution checks ran.
+	OptionsError error
 }
 
 // Conformal reports whether all three Definition 7 conditions hold.
 func (r *Report) Conformal() bool {
-	return len(r.MissingDependencies) == 0 &&
+	return r.OptionsError == nil &&
+		len(r.MissingDependencies) == 0 &&
 		len(r.SpuriousPaths) == 0 &&
 		len(r.InconsistentExecutions) == 0
 }
 
 // Summary renders a one-line human-readable verdict.
 func (r *Report) Summary() string {
+	if r.OptionsError != nil {
+		return fmt.Sprintf("not checkable: %v", r.OptionsError)
+	}
 	if r.Conformal() {
 		return "conformal"
 	}
@@ -142,7 +150,11 @@ func (r *Report) Summary() string {
 // the raw log and is therefore meaningful for acyclic mining only.
 func Check(g *graph.Digraph, l *wlog.Log, start, end string, opt core.Options) *Report {
 	rep := &Report{InconsistentExecutions: map[string]error{}}
-	dep := core.ComputeDependencies(l, opt)
+	dep, err := core.ComputeDependencies(l, opt)
+	if err != nil {
+		rep.OptionsError = err
+		return rep
+	}
 	closure := g.TransitiveClosure()
 	acts := dep.Activities()
 	for _, u := range acts {

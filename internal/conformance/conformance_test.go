@@ -212,3 +212,24 @@ func TestReportSummaryConformal(t *testing.T) {
 		t.Fatalf("empty report: Conformal=%v Summary=%q", r.Conformal(), r.Summary())
 	}
 }
+
+// TestCheckInvalidOptions pins the Report.OptionsError path: a Check with an
+// out-of-range AdaptiveEpsilon cannot evaluate the dependency relation, so
+// the report carries the typed error and is not conformal.
+func TestCheckInvalidOptions(t *testing.T) {
+	l := wlog.LogFromStrings("ABCE", "ACDE")
+	g := figure1()
+	rep := Check(g, l, "A", "E", core.Options{AdaptiveEpsilon: 0.9})
+	if !errors.Is(rep.OptionsError, core.ErrInvalidEpsilon) {
+		t.Fatalf("OptionsError = %v, want core.ErrInvalidEpsilon", rep.OptionsError)
+	}
+	if rep.Conformal() {
+		t.Fatal("report with OptionsError must not be conformal")
+	}
+	if s := rep.Summary(); !strings.Contains(s, "not checkable") {
+		t.Fatalf("Summary() = %q, want a 'not checkable' verdict", s)
+	}
+	if len(rep.MissingDependencies) != 0 || len(rep.InconsistentExecutions) != 0 {
+		t.Fatal("no checks should have run under invalid options")
+	}
+}

@@ -71,7 +71,10 @@ func MineSpecialDAGContext(ctx context.Context, l *wlog.Log, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g := buildFollowsGraph(l, opt)
+	g, err := buildFollowsGraph(l, opt)
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -96,7 +99,10 @@ func MineGeneralDAGContext(ctx context.Context, l *wlog.Log, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	g := dependencyGraph(l, opt) // steps 1-4
+	g, err := dependencyGraph(l, opt) // steps 1-4
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"procmine/internal/graph"
 	"procmine/internal/noise"
@@ -58,6 +59,35 @@ type Options struct {
 	MaxInstanceLabels int
 }
 
+// ErrInvalidEpsilon is returned by the Mine* entry points when
+// Options.AdaptiveEpsilon is set outside the paper's standing assumption
+// 0 < ε < 1/2. Before this check the invalid value silently degraded to the
+// global MinSupport path, so a typo like ε = 5 (instead of 0.05) would
+// quietly keep every observed pair.
+var ErrInvalidEpsilon = errors.New("core: AdaptiveEpsilon must be in (0, 0.5)")
+
+// Validate checks the option invariants shared by every mining entry point.
+// It currently rejects exactly one misconfiguration: a non-zero
+// AdaptiveEpsilon outside (0, 0.5), for which the Section 6 balance rule is
+// undefined. The zero value (adaptive thresholding disabled) is always
+// valid.
+func (o Options) Validate() error {
+	if o.AdaptiveEpsilon == 0 {
+		return nil
+	}
+	if math.IsNaN(o.AdaptiveEpsilon) || o.AdaptiveEpsilon <= 0 || o.AdaptiveEpsilon >= 0.5 {
+		return fmt.Errorf("%w: got %v", ErrInvalidEpsilon, o.AdaptiveEpsilon)
+	}
+	return nil
+}
+
+// adaptiveEnabled reports whether the per-pair Section 6 threshold is
+// active. Callers must have validated the options first, so a non-zero
+// epsilon is always in range here.
+func (o Options) adaptiveEnabled() bool {
+	return o.AdaptiveEpsilon > 0 && o.AdaptiveEpsilon < 0.5
+}
+
 // ErrNotSpecialForm is returned by MineSpecialDAG when the log violates the
 // algorithm's precondition that every activity appears in every execution
 // exactly once.
@@ -92,8 +122,24 @@ const denseAlphabetMax = 2048
 // some instance of u terminates before some instance of v starts, plus the
 // number of executions in which instances of the two activities overlap in
 // time, and their per-pair co-occurrence counts.
+//
+// The scan is the dominant O(len²·m) cost on the Table 1 workloads, and
+// executions are independent units of counting, so large logs are sharded
+// across GOMAXPROCS workers (see parallel.go). Counts are integers and
+// addition is commutative, so the merged result is identical to the
+// sequential scan's — the determinism and oracle tests gate this.
 func followsCounts(l *wlog.Log) pairCounts {
-	if acts := l.Activities(); len(acts) <= denseAlphabetMax {
+	acts := l.Activities()
+	if w := scanWorkers(len(l.Executions), len(acts)); w > 1 {
+		return followsCountsParallel(l, acts, w)
+	}
+	return followsCountsSeq(l, acts)
+}
+
+// followsCountsSeq is the single-threaded scan: the dense n×n accumulator
+// for alphabets up to denseAlphabetMax, the hash-map accumulator beyond.
+func followsCountsSeq(l *wlog.Log, acts []string) pairCounts {
+	if len(acts) <= denseAlphabetMax {
 		return followsCountsDenseImpl(l, acts)
 	}
 	return followsCountsMap(l)
@@ -242,28 +288,50 @@ func followsCountsMap(l *wlog.Log) pairCounts {
 // Definition 3 a following requires the order to hold in *each* execution
 // where both appear, and an overlap breaks that. Overlap observations below
 // the noise threshold are ignored, symmetrically with order observations.
-func buildFollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
+func buildFollowsGraph(l *wlog.Log, opt Options) (*graph.Digraph, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return assembleFollowsGraph(l.Activities(), followsCounts(l), opt)
+}
+
+// assembleFollowsGraph performs steps 1-3 on precomputed pair counts. It is
+// the single implementation of the threshold and cancellation rules, shared
+// by the batch path (buildFollowsGraph) and IncrementalMiner.Mine, so the
+// two paths cannot diverge on noise handling. Options must have been
+// validated by the caller.
+func assembleFollowsGraph(activities []string, pc pairCounts, opt Options) (*graph.Digraph, error) {
 	g := graph.New()
-	for _, a := range l.Activities() {
+	for _, a := range activities {
 		g.AddVertex(a)
 	}
-	pc := followsCounts(l)
-	threshold := func(e graph.Edge) int {
-		if opt.AdaptiveEpsilon > 0 && opt.AdaptiveEpsilon < 0.5 {
-			key := e
-			if key.From > key.To {
-				key.From, key.To = key.To, key.From
-			}
-			t, err := noise.ThresholdFor(pc.cooc[key], opt.AdaptiveEpsilon)
-			if err != nil {
-				return 1
-			}
-			return t
+	adaptive := opt.adaptiveEnabled()
+	threshold := func(e graph.Edge) (int, error) {
+		if !adaptive {
+			return opt.MinSupport, nil
 		}
-		return opt.MinSupport
+		key := e
+		if key.From > key.To {
+			key.From, key.To = key.To, key.From
+		}
+		cooc := pc.cooc[key]
+		if cooc <= 0 {
+			// An observed pair co-occurs at least once, so a missing count
+			// can only accompany a zero observation; threshold 1 filters it.
+			return 1, nil
+		}
+		t, err := noise.ThresholdFor(cooc, opt.AdaptiveEpsilon)
+		if err != nil {
+			return 0, fmt.Errorf("core: adaptive threshold for %v: %w", e, err)
+		}
+		return t, nil
 	}
 	for e, c := range pc.order {
-		if c < threshold(e) {
+		t, err := threshold(e)
+		if err != nil {
+			return nil, err
+		}
+		if c < t {
 			continue
 		}
 		g.AddEdge(e.From, e.To)
@@ -277,7 +345,10 @@ func buildFollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
 		}
 	}
 	for e, c := range pc.overlap {
-		min := threshold(e)
+		min, err := threshold(e)
+		if err != nil {
+			return nil, err
+		}
 		if min < 1 {
 			min = 1
 		}
@@ -287,15 +358,16 @@ func buildFollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
 		g.RemoveEdge(e.From, e.To)
 		g.RemoveEdge(e.To, e.From)
 	}
-	return g
+	return g, nil
 }
 
 // FollowsGraph returns the followings graph of the log after threshold
 // filtering and 2-cycle removal (steps 1-3). An edge u->v means u was
 // observed to terminate before v in at least max(1, MinSupport) executions
 // and v was never (or sub-threshold) observed before u. Paths in this graph
-// are exactly the "followings" of Definition 3.
-func FollowsGraph(l *wlog.Log, opt Options) *graph.Digraph {
+// are exactly the "followings" of Definition 3. It fails with
+// ErrInvalidEpsilon when opt carries an out-of-range AdaptiveEpsilon.
+func FollowsGraph(l *wlog.Log, opt Options) (*graph.Digraph, error) {
 	return buildFollowsGraph(l, opt)
 }
 
@@ -343,7 +415,33 @@ func adaptiveThreshold(cooc int, eps float64) (int, error) {
 
 // FollowsCountsMap returns the ordered-pair support counts computed with
 // the hash-map accumulator — the baseline the dense production accumulator
-// is benchmarked against (see bench_test.go's ablations).
+// is benchmarked against (see bench_test.go's ablations) and the oracle the
+// parallel scan is checked against.
 func FollowsCountsMap(l *wlog.Log) map[graph.Edge]int {
 	return followsCountsMap(l).order
+}
+
+// FollowsCountsSequential returns the ordered-pair support counts computed
+// by the single-threaded production accumulator (the dense/map switch
+// without sharding) — the baseline of the parallel-scan ablation recorded
+// in the bench trajectory (cmd/benchreport).
+func FollowsCountsSequential(l *wlog.Log) map[graph.Edge]int {
+	return followsCountsSeq(l, l.Activities()).order
+}
+
+// FollowsCountsParallel returns the ordered-pair support counts computed by
+// the sharded scan with exactly the given worker count, regardless of
+// GOMAXPROCS or the log's size — the treatment arm of the parallel-scan
+// ablation. Worker counts below 2 (or logs with fewer executions than
+// workers) fall back to the sequential accumulator. The result is
+// identical to FollowsCountsSequential's for every log and worker count.
+func FollowsCountsParallel(l *wlog.Log, workers int) map[graph.Edge]int {
+	acts := l.Activities()
+	if workers > len(l.Executions) {
+		workers = len(l.Executions)
+	}
+	if workers < 2 {
+		return followsCountsSeq(l, acts).order
+	}
+	return followsCountsParallel(l, acts, workers).order
 }

@@ -77,7 +77,10 @@ func TestAlgorithm3Example8(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LabelInstances: %v", err)
 	}
-	fg := FollowsGraph(labeled, Options{})
+	fg, err := FollowsGraph(labeled, Options{})
+	if err != nil {
+		t.Fatalf("FollowsGraph: %v", err)
+	}
 	for _, pair := range [][2]string{{"D#1", "C#1"}, {"C#1", "D#1"}, {"D#1", "B#2"}, {"B#2", "D#1"}} {
 		if fg.HasEdge(pair[0], pair[1]) {
 			t.Errorf("followings graph has edge %s->%s; the paper says both orders cancel", pair[0], pair[1])

@@ -242,7 +242,10 @@ func TestEffectiveDependencyMethods(t *testing.T) {
 	// Example 7: literal Definition 4 says D depends on B (via the SCC
 	// interior), but effectively they are independent.
 	l := wlog.LogFromStrings("ABCF", "ACDF", "ADEF", "AECF")
-	d := ComputeDependencies(l, Options{})
+	d, err := ComputeDependencies(l, Options{})
+	if err != nil {
+		t.Fatalf("ComputeDependencies: %v", err)
+	}
 	if !d.Depends("B", "D") {
 		t.Error("literal: D should depend on B via C")
 	}
@@ -311,6 +314,31 @@ func TestMarkingParallelManySignatures(t *testing.T) {
 	}
 	if !graph.EqualGraphs(a, b) {
 		t.Fatal("concurrent marking nondeterministic")
+	}
+}
+
+// TestMarkRequiredEdgesCyclicFailsOnBothPaths drives the exported marking
+// pass with a cyclic graph (the only way to reach the per-subgraph fallback)
+// on both the sequential and the parallel schedule. The parallel collector
+// must surface the first reduction error — and cancel the remaining jobs —
+// rather than hang or swallow it.
+func TestMarkRequiredEdgesCyclicFailsOnBothPaths(t *testing.T) {
+	g := graph.NewFromEdges(edge("A", "B"), edge("B", "A"))
+	l := &wlog.Log{}
+	for i := 0; i < 64; i++ {
+		// Distinct activity sets {A, B, x_i} so the parallel path has many
+		// jobs to cancel after the first failure.
+		x := "x" + itoa(i)
+		g.AddEdge("B", x)
+		l.Executions = append(l.Executions, wlog.FromSequence("c"+itoa(i), "A", "B", x))
+	}
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(procs, func() {
+			_, err := MarkRequiredEdges(g, l)
+			if !errors.Is(err, graph.ErrCyclic) {
+				t.Errorf("GOMAXPROCS=%d: err = %v, want graph.ErrCyclic", procs, err)
+			}
+		})
 	}
 }
 

@@ -15,9 +15,13 @@ type DependencyRelation struct {
 	depClosure *graph.Digraph // transitive closure of depGraph
 }
 
-// ComputeDependencies evaluates Definitions 3-5 on the log.
-func ComputeDependencies(l *wlog.Log, opt Options) *DependencyRelation {
-	f := buildFollowsGraph(l, opt)
+// ComputeDependencies evaluates Definitions 3-5 on the log. It fails with
+// ErrInvalidEpsilon when opt carries an out-of-range AdaptiveEpsilon.
+func ComputeDependencies(l *wlog.Log, opt Options) (*DependencyRelation, error) {
+	f, err := buildFollowsGraph(l, opt)
+	if err != nil {
+		return nil, err
+	}
 	d := f.Clone()
 	d.RemoveIntraSCCEdges()
 	return &DependencyRelation{
@@ -25,7 +29,7 @@ func ComputeDependencies(l *wlog.Log, opt Options) *DependencyRelation {
 		closure:    f.TransitiveClosure(),
 		depGraph:   d,
 		depClosure: d.TransitiveClosure(),
-	}
+	}, nil
 }
 
 // Follows reports whether b follows a (Definition 3): there is a path of
@@ -87,8 +91,11 @@ func (d *DependencyRelation) Graph() *graph.Digraph {
 }
 
 // dependencyGraph runs steps 1-4 of Algorithm 2 directly on a log.
-func dependencyGraph(l *wlog.Log, opt Options) *graph.Digraph {
-	g := buildFollowsGraph(l, opt)
+func dependencyGraph(l *wlog.Log, opt Options) (*graph.Digraph, error) {
+	g, err := buildFollowsGraph(l, opt)
+	if err != nil {
+		return nil, err
+	}
 	g.RemoveIntraSCCEdges()
-	return g
+	return g, nil
 }

@@ -4,13 +4,35 @@ import (
 	"reflect"
 	"testing"
 
+	"procmine/internal/graph"
 	"procmine/internal/wlog"
 )
+
+// mustDependencies computes the dependency relation, failing the test on
+// error (all fixtures here use valid options).
+func mustDependencies(t *testing.T, l *wlog.Log, opt Options) *DependencyRelation {
+	t.Helper()
+	d, err := ComputeDependencies(l, opt)
+	if err != nil {
+		t.Fatalf("ComputeDependencies: %v", err)
+	}
+	return d
+}
+
+// mustFollowsGraph builds the followings graph, failing the test on error.
+func mustFollowsGraph(t *testing.T, l *wlog.Log, opt Options) *graph.Digraph {
+	t.Helper()
+	g, err := FollowsGraph(l, opt)
+	if err != nil {
+		t.Fatalf("FollowsGraph: %v", err)
+	}
+	return g
+}
 
 // TestExample3Dependencies reproduces Example 3 of the paper.
 func TestExample3Dependencies(t *testing.T) {
 	l := wlog.LogFromStrings("ABCE", "ACDE", "ADBE")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 
 	if !d.Depends("A", "B") {
 		t.Error("B should depend on A")
@@ -38,10 +60,10 @@ func TestExample3Dependencies(t *testing.T) {
 // B->C in ABCE — so strictly C depends on D. We implement the definitions.)
 func TestExample3Extended(t *testing.T) {
 	l := wlog.LogFromStrings("ABCE", "ACDE", "ADBE", "ADCE")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 
 	// Direct C/D followings cancelled in both directions.
-	fg := FollowsGraph(l, Options{})
+	fg := mustFollowsGraph(t, l, Options{})
 	if fg.HasEdge("C", "D") || fg.HasEdge("D", "C") {
 		t.Error("direct C<->D followings should have cancelled")
 	}
@@ -59,7 +81,7 @@ func TestExample3Extended(t *testing.T) {
 
 func TestIndependentReflexive(t *testing.T) {
 	l := wlog.LogFromStrings("AB")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 	if !d.Independent("A", "A") {
 		t.Error("an activity must be independent of itself")
 	}
@@ -72,7 +94,7 @@ func TestNeverCooccurringAreIndependent(t *testing.T) {
 	// B and C never appear together and have no connecting path, so they
 	// neither follow each other: independent.
 	l := wlog.LogFromStrings("AB", "AC")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 	if !d.Independent("B", "C") {
 		t.Error("B and C should be independent (never co-occur)")
 	}
@@ -85,7 +107,7 @@ func TestFollowsIsTransitive(t *testing.T) {
 	// B follows A in x1; C follows B in x2; so C follows A transitively
 	// even though A and C never co-occur.
 	l := wlog.LogFromStrings("AB", "BC")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 	if !d.Follows("A", "C") {
 		t.Error("C should follow A via B (Definition 3 recursion)")
 	}
@@ -106,7 +128,7 @@ func TestOverlappingActivitiesDoNotFollow(t *testing.T) {
 	}
 	exec := wlog.Execution{ID: "x", Steps: []wlog.Step{s, other}}
 	l := &wlog.Log{Executions: []wlog.Execution{exec}}
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 	if d.Follows("A", "B") || d.Follows("B", "A") {
 		t.Error("overlapping activities must not follow each other")
 	}
@@ -128,7 +150,7 @@ func TestOverlapCancelsOrderFromOtherExecutions(t *testing.T) {
 	}}
 	l := &wlog.Log{Executions: []wlog.Execution{e1, e2}}
 
-	g := FollowsGraph(l, Options{})
+	g := mustFollowsGraph(t, l, Options{})
 	if g.HasEdge("A", "B") || g.HasEdge("B", "A") {
 		t.Fatal("overlap in e2 should cancel the A->B order from e1")
 	}
@@ -137,7 +159,7 @@ func TestOverlapCancelsOrderFromOtherExecutions(t *testing.T) {
 	}
 	// With MinSupport=2 the single overlap observation is below threshold
 	// and the single order observation is too: no edges either way.
-	g2 := FollowsGraph(l, Options{MinSupport: 2})
+	g2 := mustFollowsGraph(t, l, Options{MinSupport: 2})
 	if g2.NumEdges() != 0 {
 		t.Fatalf("unexpected edges with MinSupport=2: %v", g2.Edges())
 	}
@@ -155,11 +177,11 @@ func TestOverlapBelowThresholdIgnored(t *testing.T) {
 	l := &wlog.Log{Executions: []wlog.Execution{
 		wlog.FromString("e1", "AB"), wlog.FromString("e2", "AB"), wlog.FromString("e3", "AB"), ov,
 	}}
-	g := FollowsGraph(l, Options{MinSupport: 2})
+	g := mustFollowsGraph(t, l, Options{MinSupport: 2})
 	if !g.HasEdge("A", "B") {
 		t.Fatal("single sub-threshold overlap should not cancel a well-supported order")
 	}
-	plain := FollowsGraph(l, Options{})
+	plain := mustFollowsGraph(t, l, Options{})
 	if plain.HasEdge("A", "B") {
 		t.Fatal("without threshold the overlap must cancel the order")
 	}
@@ -167,7 +189,7 @@ func TestOverlapBelowThresholdIgnored(t *testing.T) {
 
 func TestDependencyGraphExample3(t *testing.T) {
 	l := wlog.LogFromStrings("ABCE", "ACDE", "ADBE")
-	d := ComputeDependencies(l, Options{})
+	d := mustDependencies(t, l, Options{})
 	g := d.Graph()
 	// SCC {B, C, D} edges removed; remaining dependencies:
 	wantEdges := []string{"A->B", "A->C", "A->D", "A->E", "B->E", "C->E", "D->E"}
@@ -200,11 +222,11 @@ func TestFollowsGraphThreshold(t *testing.T) {
 	// B->C observed twice, C->B once. With MinSupport=2 the minority order
 	// never enters the graph, so B->C survives 2-cycle removal.
 	l := wlog.LogFromStrings("ABC", "ABC", "ACB")
-	plain := FollowsGraph(l, Options{})
+	plain := mustFollowsGraph(t, l, Options{})
 	if plain.HasEdge("B", "C") || plain.HasEdge("C", "B") {
 		t.Error("without threshold, B<->C must cancel out")
 	}
-	thresholded := FollowsGraph(l, Options{MinSupport: 2})
+	thresholded := mustFollowsGraph(t, l, Options{MinSupport: 2})
 	if !thresholded.HasEdge("B", "C") {
 		t.Error("with MinSupport=2, B->C should survive")
 	}
@@ -216,7 +238,7 @@ func TestFollowsGraphThreshold(t *testing.T) {
 func TestFollowsGraphIncludesIsolatedActivities(t *testing.T) {
 	// A single-activity execution contributes a vertex with no edges.
 	l := wlog.LogFromStrings("A")
-	g := FollowsGraph(l, Options{})
+	g := mustFollowsGraph(t, l, Options{})
 	if !g.HasVertex("A") {
 		t.Fatal("vertex A missing from followings graph")
 	}

@@ -44,6 +44,9 @@ func MineWithDiagnostics(l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics
 // is checked while scanning executions and by the marking pass, so tracing
 // a mine on a huge log can be abandoned promptly.
 func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (*graph.Digraph, *Diagnostics, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
 	diag := &Diagnostics{Executions: l.Len()}
 
 	work := l
@@ -71,8 +74,12 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 	pc := followsCounts(work)
 	diag.OrderedPairs = len(pc.order)
 
-	// Reconstruct the funnel stage by stage.
-	g := buildFollowsGraph(work, opt)
+	// Reconstruct the funnel stage by stage, reusing the pair counts
+	// already accumulated above instead of rescanning the log.
+	g, err := assembleFollowsGraph(work.Activities(), pc, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	afterSteps13 := g.NumEdges()
 	// Edges that never made it: below threshold, 2-cycle, or overlap.
 	kept := map[graph.Edge]bool{}

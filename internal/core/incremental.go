@@ -31,6 +31,11 @@ type IncrementalMiner struct {
 	activities map[string]bool
 	order      map[graph.Edge]int
 	overlap    map[graph.Edge]int
+	// cooc counts, per unordered pair (keyed From < To), the executions in
+	// which both activities appear — the m of the per-pair Section 6
+	// balance rule, so Mine can apply Options.AdaptiveEpsilon exactly as
+	// the batch path does.
+	cooc map[graph.Edge]int
 	// sigs maps an activity-set signature to the sorted labeled activity
 	// set; the marking pass needs each distinct set once.
 	sigs map[string][]string
@@ -51,6 +56,7 @@ func (im *IncrementalMiner) init() {
 		im.activities = make(map[string]bool)
 		im.order = make(map[graph.Edge]int)
 		im.overlap = make(map[graph.Edge]int)
+		im.cooc = make(map[graph.Edge]int)
 		im.sigs = make(map[string][]string)
 	}
 }
@@ -131,6 +137,13 @@ func (im *IncrementalMiner) addLabeled(exec wlog.Execution) {
 		set = append(set, a)
 	}
 	sort.Strings(set)
+	// Per-pair co-occurrence: set is sorted, so From < To matches the
+	// batch scan's unordered keying.
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			im.cooc[graph.Edge{From: set[i], To: set[j]}]++
+		}
+	}
 	im.sigs[signature(set)] = set
 }
 
@@ -138,46 +151,40 @@ func (im *IncrementalMiner) addLabeled(exec wlog.Execution) {
 // (2-cycle and overlap cancellation, threshold, SCC removal) on the counts,
 // the marking pass over the distinct labeled activity sets, and the
 // instance merge of Algorithm 3.
+//
+// Thresholding — including the per-pair Options.AdaptiveEpsilon balance
+// rule — runs through the same assembleFollowsGraph used by the batch
+// miners, so mining a log incrementally and batch-mining the same log with
+// the same Options produce identical graphs (the parity property tests
+// gate this). Like the batch entry points it fails with ErrInvalidEpsilon
+// on an out-of-range AdaptiveEpsilon.
 func (im *IncrementalMiner) Mine(opt Options) (*graph.Digraph, error) {
 	im.init()
-	g := graph.New()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	acts := make([]string, 0, len(im.activities))
 	for a := range im.activities {
-		g.AddVertex(a)
+		acts = append(acts, a)
 	}
-	for e, c := range im.order {
-		if c < opt.MinSupport {
-			continue
-		}
-		g.AddEdge(e.From, e.To)
-	}
-	for _, e := range g.Edges() {
-		if e.From < e.To && g.HasEdge(e.To, e.From) {
-			g.RemoveEdge(e.From, e.To)
-			g.RemoveEdge(e.To, e.From)
-		}
-	}
-	min := opt.MinSupport
-	if min < 1 {
-		min = 1
-	}
-	for e, c := range im.overlap {
-		if c < min {
-			continue
-		}
-		g.RemoveEdge(e.From, e.To)
-		g.RemoveEdge(e.To, e.From)
+	sort.Strings(acts)
+	pc := pairCounts{order: im.order, overlap: im.overlap, cooc: im.cooc}
+	g, err := assembleFollowsGraph(acts, pc, opt)
+	if err != nil {
+		return nil, err
 	}
 	g.RemoveIntraSCCEdges()
 
-	// Marking pass over the distinct activity sets.
+	// Marking pass over the distinct activity sets, sharing the dependency
+	// graph's topological order and adjacency across reductions exactly
+	// like the batch marking pass.
+	sr, err := graph.NewSubsetReducer(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: incremental marking: %w", err)
+	}
 	marked := make(map[graph.Edge]bool)
 	for _, set := range im.sigs {
-		sub := g.InducedSubgraph(set)
-		red, err := sub.TransitiveReduction()
-		if err != nil {
-			return nil, fmt.Errorf("core: incremental marking: %w", err)
-		}
-		for _, e := range red.Edges() {
+		for _, e := range sr.ReduceSubset(set) {
 			marked[e] = true
 		}
 	}

@@ -1,0 +1,96 @@
+package core
+
+// Parallel step-2 scan. Executions are independent units of pair counting,
+// so the log is split into contiguous shards, each accumulated by a private
+// worker (dense matrices or maps, mirroring the sequential switch), and the
+// per-shard counts are merged by integer summation. Addition over ints is
+// commutative and exact, so the merged pairCounts — and therefore every
+// graph mined from them — is byte-identical to the sequential scan's
+// result for any worker count. The oracle tests in parallel_test.go and the
+// 20× serialization check in determinism_test.go gate this invariant.
+
+import (
+	"runtime"
+	"sync"
+
+	"procmine/internal/wlog"
+)
+
+// scanShardMin is the minimum number of executions per worker: below it the
+// goroutine and merge overhead outweighs the scan itself, so small logs
+// stay on the sequential path.
+const scanShardMin = 64
+
+// parallelDenseAlphabetMax bounds the alphabet for which each worker of the
+// parallel scan may allocate private dense matrices: the five n×n int32
+// accumulators cost ~20·n² bytes *per worker*, so the dense budget that is
+// acceptable once (denseAlphabetMax) is not acceptable multiplied by
+// GOMAXPROCS. Alphabets in (parallelDenseAlphabetMax, denseAlphabetMax]
+// keep the sequential dense scan; beyond denseAlphabetMax the map
+// accumulator shards without a memory multiplier.
+const parallelDenseAlphabetMax = 1024
+
+// scanWorkers picks the shard count for a log of m executions over an
+// n-activity alphabet: GOMAXPROCS, capped so every shard holds at least
+// scanShardMin executions, and 1 wherever sharding would not pay
+// (single-CPU, small logs, or the dense-memory gap described above).
+func scanWorkers(m, n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if max := m / scanShardMin; workers > max {
+		workers = max
+	}
+	if n > parallelDenseAlphabetMax && n <= denseAlphabetMax {
+		return 1
+	}
+	if workers < 2 {
+		return 1
+	}
+	return workers
+}
+
+// followsCountsParallel shards l.Executions across workers goroutines, each
+// running the sequential accumulator over its slice, and merges the
+// per-shard counts. Callers guarantee workers >= 2 and
+// workers <= len(l.Executions).
+func followsCountsParallel(l *wlog.Log, acts []string, workers int) pairCounts {
+	shards := make([]pairCounts, workers)
+	m := len(l.Executions)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := m*w/workers, m*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := &wlog.Log{Executions: l.Executions[lo:hi]}
+			if len(acts) <= parallelDenseAlphabetMax {
+				// The shared full-alphabet index keeps every shard's dense
+				// cells aligned, so per-shard conversion emits the same keys
+				// the sequential conversion would.
+				shards[w] = followsCountsDenseImpl(sub, acts)
+			} else {
+				shards[w] = followsCountsMap(sub)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return mergePairCounts(shards)
+}
+
+// mergePairCounts sums per-shard counts into the first shard's maps. Map
+// iteration order does not matter: every merge operation is a commutative
+// integer addition keyed by pair.
+func mergePairCounts(shards []pairCounts) pairCounts {
+	out := shards[0]
+	for _, s := range shards[1:] {
+		for e, c := range s.order {
+			out.order[e] += c
+		}
+		for e, c := range s.overlap {
+			out.overlap[e] += c
+		}
+		for e, c := range s.cooc {
+			out.cooc[e] += c
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"procmine/internal/synth"
+	"procmine/internal/wlog"
+)
+
+// withGOMAXPROCS runs f with the given GOMAXPROCS, restoring the old value.
+// Tests in this package do not use t.Parallel, so the temporary bump cannot
+// leak into a concurrently running test.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// scanLog generates a deterministic Table-1-style synthetic log.
+func scanLog(t testing.TB, n, m int) *wlog.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*100003 + int64(m)))
+	g := synth.RandomDAG(rng, n, synth.PaperEdgeProb(n))
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	return sim.GenerateLog("scan_", m)
+}
+
+// overlapLog builds a log whose executions contain overlapping steps, so the
+// overlap counts are exercised alongside order and co-occurrence.
+func overlapLog(m int) *wlog.Log {
+	base := wlog.FromString("tmp", "AC")
+	a, c := base.Steps[0], base.Steps[1]
+	b := wlog.Step{
+		Activity: "B",
+		Start:    a.Start.Add(a.End.Sub(a.Start) / 2),
+		End:      a.End.Add(a.End.Sub(a.Start)),
+	}
+	l := &wlog.Log{}
+	for i := 0; i < m; i++ {
+		l.Executions = append(l.Executions, wlog.Execution{
+			ID: "ov" + itoa(i), Steps: []wlog.Step{a, b, c},
+		})
+	}
+	return l
+}
+
+func TestScanWorkersGates(t *testing.T) {
+	withGOMAXPROCS(8, func() {
+		cases := []struct {
+			m, n, want int
+		}{
+			{m: 10, n: 10, want: 1},    // too few executions to shard
+			{m: 640, n: 10, want: 8},   // full GOMAXPROCS fan-out
+			{m: 200, n: 10, want: 3},   // capped by scanShardMin per shard
+			{m: 640, n: 1500, want: 1}, // dense-memory gap: sequential dense
+			{m: 640, n: 3000, want: 8}, // past denseAlphabetMax: map shards
+			{m: 127, n: 10, want: 1},   // one full shard is not sharding
+			{m: 128, n: 10, want: 2},   // exactly two shards
+		}
+		for _, c := range cases {
+			if got := scanWorkers(c.m, c.n); got != c.want {
+				t.Errorf("scanWorkers(m=%d, n=%d) = %d, want %d", c.m, c.n, got, c.want)
+			}
+		}
+	})
+	withGOMAXPROCS(1, func() {
+		if got := scanWorkers(10000, 10); got != 1 {
+			t.Errorf("scanWorkers on 1 proc = %d, want 1", got)
+		}
+	})
+}
+
+// TestFollowsCountsParallelMatchesOracle checks the sharded scan against the
+// hash-map oracle for all three count families across worker counts.
+func TestFollowsCountsParallelMatchesOracle(t *testing.T) {
+	logs := map[string]*wlog.Log{
+		"synthetic": scanLog(t, 20, 300),
+		"overlaps":  overlapLog(160),
+		"mixed": {Executions: append(
+			scanLog(t, 10, 100).Executions,
+			overlapLog(100).Executions...)},
+	}
+	for name, l := range logs {
+		oracle := followsCountsMap(l)
+		acts := l.Activities()
+		for _, workers := range []int{2, 3, 5, 8} {
+			got := followsCountsParallel(l, acts, workers)
+			if !reflect.DeepEqual(got.order, oracle.order) {
+				t.Fatalf("%s/w=%d: order counts differ from oracle", name, workers)
+			}
+			if !reflect.DeepEqual(got.overlap, oracle.overlap) {
+				t.Fatalf("%s/w=%d: overlap counts differ from oracle", name, workers)
+			}
+			if !reflect.DeepEqual(got.cooc, oracle.cooc) {
+				t.Fatalf("%s/w=%d: cooc counts differ from oracle", name, workers)
+			}
+		}
+	}
+}
+
+// TestFollowsCountsParallelMapShards forces the map-accumulator shard arm
+// (alphabet past parallelDenseAlphabetMax) and checks it against the oracle.
+func TestFollowsCountsParallelMapShards(t *testing.T) {
+	// 128 executions over a >1024-activity alphabet: each execution walks a
+	// distinct window of ten activities.
+	l := &wlog.Log{}
+	for i := 0; i < 128; i++ {
+		names := make([]string, 10)
+		for j := range names {
+			names[j] = "act" + itoa((i*9+j)%1100)
+		}
+		l.Executions = append(l.Executions, wlog.FromSequence("w"+itoa(i), names...))
+	}
+	if n := len(l.Activities()); n <= parallelDenseAlphabetMax {
+		t.Fatalf("fixture alphabet %d does not exceed parallelDenseAlphabetMax", n)
+	}
+	oracle := followsCountsMap(l)
+	got := followsCountsParallel(l, l.Activities(), 4)
+	if !reflect.DeepEqual(got.order, oracle.order) || !reflect.DeepEqual(got.cooc, oracle.cooc) {
+		t.Fatal("map-sharded parallel scan differs from oracle")
+	}
+}
+
+// TestFollowsCountsParallelDeterministic re-runs the sharded scan and
+// requires identical results every time (the merge is pure integer
+// summation, so there is nothing schedule-dependent to observe).
+func TestFollowsCountsParallelDeterministic(t *testing.T) {
+	l := scanLog(t, 15, 256)
+	acts := l.Activities()
+	first := followsCountsParallel(l, acts, 4)
+	for i := 0; i < 20; i++ {
+		again := followsCountsParallel(l, acts, 4)
+		if !reflect.DeepEqual(again.order, first.order) ||
+			!reflect.DeepEqual(again.overlap, first.overlap) ||
+			!reflect.DeepEqual(again.cooc, first.cooc) {
+			t.Fatalf("run %d: parallel scan not deterministic", i)
+		}
+	}
+}
+
+// TestFollowsCountsParallelPublicAPI pins the exported ablation helpers:
+// any worker count (including degenerate ones) must reproduce the
+// sequential counts exactly.
+func TestFollowsCountsParallelPublicAPI(t *testing.T) {
+	l := scanLog(t, 12, 150)
+	seq := FollowsCountsSequential(l)
+	if oracle := FollowsCountsMap(l); !reflect.DeepEqual(seq, oracle) {
+		t.Fatal("sequential production scan differs from map oracle")
+	}
+	for _, workers := range []int{0, 1, 2, 7, 10000} {
+		if got := FollowsCountsParallel(l, workers); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("FollowsCountsParallel(workers=%d) differs from sequential", workers)
+		}
+	}
+}
+
+// TestFollowsCountsAutoParallelMatchesSequential drives the production
+// dispatcher (followsCounts) through the sharded path by bumping GOMAXPROCS
+// and checks the end-to-end mining result is unchanged.
+func TestFollowsCountsAutoParallelMatchesSequential(t *testing.T) {
+	l := scanLog(t, 20, 512)
+	var seq, par pairCounts
+	withGOMAXPROCS(1, func() { seq = followsCounts(l) })
+	withGOMAXPROCS(4, func() {
+		if w := scanWorkers(len(l.Executions), len(l.Activities())); w < 2 {
+			t.Fatalf("fixture does not trigger the parallel path (workers=%d)", w)
+		}
+		par = followsCounts(l)
+	})
+	if !reflect.DeepEqual(seq.order, par.order) ||
+		!reflect.DeepEqual(seq.overlap, par.overlap) ||
+		!reflect.DeepEqual(seq.cooc, par.cooc) {
+		t.Fatal("auto-dispatched parallel scan differs from sequential scan")
+	}
+}
+
+// TestMineGeneralDAGParallelSchedulesMatch mines the same log under 1 and 4
+// procs (covering both the sharded scan and the parallel marking pass, which
+// the race detector then observes) and requires byte-identical graphs.
+func TestMineGeneralDAGParallelSchedulesMatch(t *testing.T) {
+	l := scanLog(t, 20, 512)
+	mine := func() string {
+		g, err := MineGeneralDAG(l, Options{})
+		if err != nil {
+			t.Fatalf("MineGeneralDAG: %v", err)
+		}
+		var b strings.Builder
+		if err := g.WriteAdjacency(&b); err != nil {
+			t.Fatalf("WriteAdjacency: %v", err)
+		}
+		return b.String()
+	}
+	var s1, s4 string
+	withGOMAXPROCS(1, func() { s1 = mine() })
+	withGOMAXPROCS(4, func() { s4 = mine() })
+	if s1 != s4 {
+		t.Fatalf("parallel mine differs from sequential mine:\nseq:\n%s\npar:\n%s", s1, s4)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"procmine/internal/graph"
+	"procmine/internal/noise"
+	"procmine/internal/synth"
+	"procmine/internal/wlog"
+)
+
+// logHasRepeats mirrors the procmine.Mine dispatch rule: any execution with
+// a repeated activity routes to Algorithm 3.
+func logHasRepeats(l *wlog.Log) bool {
+	for _, e := range l.Executions {
+		seen := make(map[string]bool, len(e.Steps))
+		for _, s := range e.Steps {
+			if seen[s.Activity] {
+				return true
+			}
+			seen[s.Activity] = true
+		}
+	}
+	return false
+}
+
+// batchMine is the batch reference the incremental miner must reproduce:
+// MineCyclic when the log repeats activities, MineGeneralDAG otherwise.
+func batchMine(l *wlog.Log, opt Options) (*graph.Digraph, error) {
+	if logHasRepeats(l) {
+		return MineCyclic(l, opt)
+	}
+	return MineGeneralDAG(l, opt)
+}
+
+// parityLogs builds the fixture family: a clean synthetic DAG log, three
+// noise-corrupted variants (out-of-order swaps, dropped steps, spurious
+// inserts), and a cyclic-process log whose executions repeat activities.
+func parityLogs(t *testing.T) map[string]*wlog.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20260805))
+	g := synth.RandomDAG(rng, 12, synth.PaperEdgeProb(12))
+	sim, err := synth.NewSimulator(g, rng)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	clean := sim.GenerateLog("p_", 40)
+	c := noise.NewCorruptor(rand.New(rand.NewSource(7)))
+	logs := map[string]*wlog.Log{
+		"clean":    clean,
+		"swapped":  c.SwapAdjacent(clean, 0.1),
+		"dropped":  c.DropActivities(clean, 0.1),
+		"spurious": c.InsertSpurious(clean, 0.3, noise.InsertionAlphabet(clean, 3)),
+	}
+
+	cyc := graph.NewFromEdges(
+		graph.Edge{From: synth.StartActivity, To: "B"},
+		graph.Edge{From: synth.StartActivity, To: "D"},
+		graph.Edge{From: "B", To: "C"},
+		graph.Edge{From: "C", To: "B"},
+		graph.Edge{From: "C", To: synth.EndActivity},
+		graph.Edge{From: "D", To: synth.EndActivity},
+	)
+	cs, err := synth.NewCyclicSimulator(cyc, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("NewCyclicSimulator: %v", err)
+	}
+	cyclic := cs.GenerateLog("cy_", 30)
+	if !logHasRepeats(cyclic) {
+		t.Fatal("cyclic fixture generated no repeats")
+	}
+	logs["cyclic"] = cyclic
+	return logs
+}
+
+// TestBatchIncrementalParityGrid is the headline parity property: for every
+// fixture log and every MinSupport × AdaptiveEpsilon combination, adding the
+// log execution-by-execution to an IncrementalMiner and calling Mine yields
+// exactly the batch miner's graph. Before IncrementalMiner tracked per-pair
+// co-occurrence counts, every adaptive cell of this grid failed: the
+// incremental path silently fell back to the global MinSupport threshold.
+func TestBatchIncrementalParityGrid(t *testing.T) {
+	supports := []int{0, 2, 5}
+	epsilons := []float64{0, 0.05, 0.2, 0.45}
+	for name, l := range parityLogs(t) {
+		for _, ms := range supports {
+			for _, eps := range epsilons {
+				opt := Options{MinSupport: ms, AdaptiveEpsilon: eps}
+				batch, err := batchMine(l, opt)
+				if err != nil {
+					t.Fatalf("%s/ms=%d/eps=%v: batch mine: %v", name, ms, eps, err)
+				}
+				im := NewIncrementalMiner()
+				if err := im.AddLog(l); err != nil {
+					t.Fatalf("%s/ms=%d/eps=%v: AddLog: %v", name, ms, eps, err)
+				}
+				inc, err := im.Mine(opt)
+				if err != nil {
+					t.Fatalf("%s/ms=%d/eps=%v: incremental mine: %v", name, ms, eps, err)
+				}
+				if !graph.EqualGraphs(batch, inc) {
+					t.Errorf("%s/ms=%d/eps=%v: batch and incremental graphs differ:\nbatch: %v\ninc:   %v",
+						name, ms, eps, batch.Edges(), inc.Edges())
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalParityUnderInterleavedAdds checks that parity is insensitive
+// to the order executions arrive: a permuted Add sequence mines the same
+// graph as the batch of the original log.
+func TestIncrementalParityUnderInterleavedAdds(t *testing.T) {
+	l := parityLogs(t)["swapped"]
+	opt := Options{AdaptiveEpsilon: 0.1}
+	batch, err := batchMine(l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(len(l.Executions))
+	im := NewIncrementalMiner()
+	for _, i := range perm {
+		if err := im.Add(l.Executions[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc, err := im.Mine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraphs(batch, inc) {
+		t.Fatalf("permuted incremental adds diverge from batch:\nbatch: %v\ninc:   %v",
+			batch.Edges(), inc.Edges())
+	}
+}
+
+// TestInvalidEpsilonRejectedEverywhere pins the validation satellite: every
+// mining entry point fails fast with ErrInvalidEpsilon on an out-of-range
+// AdaptiveEpsilon instead of silently degrading to the MinSupport path.
+func TestInvalidEpsilonRejectedEverywhere(t *testing.T) {
+	special := wlog.LogFromStrings("AB", "AB")
+	general := wlog.LogFromStrings("ABCE", "ACDE", "ADBE")
+	cyclic := wlog.LogFromStrings("ABCBCD", "ABCD")
+	for _, eps := range []float64{-0.1, 0.5, 0.6, 5, math.NaN(), math.Inf(1)} {
+		opt := Options{AdaptiveEpsilon: eps}
+		if err := opt.Validate(); !errors.Is(err, ErrInvalidEpsilon) {
+			t.Fatalf("Validate(eps=%v) = %v, want ErrInvalidEpsilon", eps, err)
+		}
+		entryPoints := map[string]func() error{
+			"MineSpecialDAG": func() error { _, err := MineSpecialDAG(special, opt); return err },
+			"MineGeneralDAG": func() error { _, err := MineGeneralDAG(general, opt); return err },
+			"MineCyclic":     func() error { _, err := MineCyclic(cyclic, opt); return err },
+			"FollowsGraph":   func() error { _, err := FollowsGraph(general, opt); return err },
+			"ComputeDependencies": func() error {
+				_, err := ComputeDependencies(general, opt)
+				return err
+			},
+			"MineWithDiagnostics": func() error {
+				_, _, err := MineWithDiagnostics(general, opt)
+				return err
+			},
+			"IncrementalMiner.Mine": func() error {
+				im := NewIncrementalMiner()
+				if err := im.AddLog(general); err != nil {
+					return err
+				}
+				_, err := im.Mine(opt)
+				return err
+			},
+		}
+		for name, call := range entryPoints {
+			if err := call(); !errors.Is(err, ErrInvalidEpsilon) {
+				t.Errorf("%s(eps=%v) = %v, want ErrInvalidEpsilon", name, eps, err)
+			}
+		}
+	}
+}
+
+// TestValidEpsilonAccepted pins the other side of the boundary: zero
+// (disabled) and in-range values pass validation and mine successfully.
+func TestValidEpsilonAccepted(t *testing.T) {
+	l := wlog.LogFromStrings("ABCE", "ACDE", "ADBE")
+	for _, eps := range []float64{0, 0.001, 0.05, 0.25, 0.499} {
+		opt := Options{AdaptiveEpsilon: eps}
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("Validate(eps=%v) = %v, want nil", eps, err)
+		}
+		if _, err := MineGeneralDAG(l, opt); err != nil {
+			t.Fatalf("MineGeneralDAG(eps=%v) = %v, want nil", eps, err)
+		}
+	}
+}

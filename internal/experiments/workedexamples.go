@@ -59,7 +59,10 @@ func splitLines(s string) []string {
 func example3(w io.Writer) error {
 	fmt.Fprintln(w, "=== Example 3 (Definitions 3-5): log {ABCE, ACDE, ADBE}")
 	l := wlog.LogFromStrings("ABCE", "ACDE", "ADBE")
-	d := core.ComputeDependencies(l, core.Options{})
+	d, err := core.ComputeDependencies(l, core.Options{})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "B depends on A:        %v (B follows A, A does not follow B)\n", d.Depends("A", "B"))
 	fmt.Fprintf(w, "B follows D directly:  %v\n", d.Follows("D", "B"))
 	fmt.Fprintf(w, "D follows B via C:     %v\n", d.Follows("B", "D"))
@@ -74,7 +77,10 @@ func example3(w io.Writer) error {
 func example6(w io.Writer) error {
 	fmt.Fprintln(w, "=== Example 6 (Algorithm 1, Figure 3): log {ABCDE, ACDBE, ACBDE}")
 	l := wlog.LogFromStrings("ABCDE", "ACDBE", "ACBDE")
-	follows := core.FollowsGraph(l, core.Options{})
+	follows, err := core.FollowsGraph(l, core.Options{})
+	if err != nil {
+		return err
+	}
 	if err := writeGraphBlock(w, "after steps 2-3 (2-cycles B<->C and B<->D cancelled):", follows.Adjacency()); err != nil {
 		return err
 	}
@@ -92,13 +98,19 @@ func example6(w io.Writer) error {
 func example7(w io.Writer) error {
 	fmt.Fprintln(w, "=== Example 7 (Algorithm 2, Figure 4): log {ABCF, ACDF, ADEF, AECF}")
 	l := wlog.LogFromStrings("ABCF", "ACDF", "ADEF", "AECF")
-	follows := core.FollowsGraph(l, core.Options{})
+	follows, err := core.FollowsGraph(l, core.Options{})
+	if err != nil {
+		return err
+	}
 	if err := writeGraphBlock(w, "followings graph (no 2-cycles here):", follows.Adjacency()); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "strongly connected components: %v\n", follows.SCCs())
-	dep := core.ComputeDependencies(l, core.Options{}).Graph()
-	if err := writeGraphBlock(w, "after step 4 (edges inside {C, D, E} removed):", dep.Adjacency()); err != nil {
+	rel, err := core.ComputeDependencies(l, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := writeGraphBlock(w, "after step 4 (edges inside {C, D, E} removed):", rel.Graph().Adjacency()); err != nil {
 		return err
 	}
 	mined, err := core.MineGeneralDAG(l, core.Options{})
@@ -119,7 +131,10 @@ func example8(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lf := core.FollowsGraph(labeled, core.Options{})
+	lf, err := core.FollowsGraph(labeled, core.Options{})
+	if err != nil {
+		return err
+	}
 	if err := writeGraphBlock(w, "labeled followings graph (D/C#1 and D/B#2 orders cancelled):", lf.Adjacency()); err != nil {
 		return err
 	}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SubsetReducer answers repeated induced-subgraph transitive-reduction
+// queries against one fixed DAG. Algorithm 2's marking pass (and the
+// incremental miner's replay of it) computes the transitive reduction of
+// the dependency graph's induced subgraph once per distinct activity-set
+// signature; building a fresh Digraph and re-running the topological sort
+// for every signature dominated that pass. The reducer computes the full
+// graph's reachability bookkeeping once — the topological order and a dense
+// successor array over the shared index space — and reuses it for every
+// subset: the restriction of a DAG's topological order to any vertex subset
+// is a valid topological order of the induced subgraph, so each query runs
+// Algorithm 4's reverse sweep directly on the shared dense indices with no
+// per-query graph construction or sorting.
+//
+// The reducer holds a reference to g; g must not be mutated while the
+// reducer is in use. ReduceSubset allocates only per-call scratch and is
+// safe for concurrent use from multiple goroutines.
+type SubsetReducer struct {
+	g     *Digraph
+	n     int
+	order []int   // dense vertex indices in topological order
+	succ  [][]int // dense successor lists, sorted for deterministic sweeps
+}
+
+// NewSubsetReducer precomputes the topological order and dense adjacency of
+// g. It returns ErrCyclic (wrapped) when g is not a DAG, since induced
+// subgraphs of a cyclic graph have no unique transitive reduction in
+// general.
+func NewSubsetReducer(g *Digraph) (*SubsetReducer, error) {
+	labels, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("subset reducer: %w", err)
+	}
+	n := g.NumVertices()
+	r := &SubsetReducer{g: g, n: n, order: make([]int, n), succ: make([][]int, n)}
+	for i, v := range labels {
+		r.order[i] = g.index[v]
+	}
+	for u := 0; u < n; u++ {
+		if len(g.succ[u]) == 0 {
+			continue
+		}
+		s := make([]int, 0, len(g.succ[u]))
+		for v := range g.succ[u] {
+			s = append(s, v)
+		}
+		sort.Ints(s)
+		r.succ[u] = s
+	}
+	return r, nil
+}
+
+// ReduceSubset returns the edges of the transitive reduction of the
+// subgraph of g induced by the given vertex labels, sorted by (From, To).
+// Labels absent from g are ignored, matching InducedSubgraph. The result
+// equals InducedSubgraph(members).TransitiveReduction().Edges() for every
+// subset.
+func (r *SubsetReducer) ReduceSubset(members []string) []Edge {
+	member := NewBitset(r.n)
+	any := false
+	for _, v := range members {
+		if i, ok := r.g.index[v]; ok {
+			member.Set(i)
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Algorithm 4's reverse-topological sweep restricted to the member set:
+	// desc[u] accumulates the members reachable from u inside the subgraph,
+	// and a successor already reachable through another successor is a
+	// shortcut.
+	desc := make([]*Bitset, r.n)
+	var edges []Edge
+	for i := r.n - 1; i >= 0; i-- {
+		u := r.order[i]
+		if !member.Has(u) {
+			continue
+		}
+		through := NewBitset(r.n)
+		for _, v := range r.succ[u] {
+			if member.Has(v) && desc[v] != nil {
+				through.Or(desc[v])
+			}
+		}
+		d := through.Copy()
+		for _, v := range r.succ[u] {
+			if !member.Has(v) || through.Has(v) {
+				continue
+			}
+			edges = append(edges, Edge{From: r.g.label[u], To: r.g.label[v]})
+			d.Set(v)
+		}
+		desc[u] = d
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// oracleReduceSubset is the pre-SubsetReducer implementation of a subset
+// reduction query: build the induced subgraph, reduce it from scratch.
+func oracleReduceSubset(t *testing.T, g *Digraph, members []string) []Edge {
+	t.Helper()
+	red, err := g.InducedSubgraph(members).TransitiveReduction()
+	if err != nil {
+		t.Fatalf("oracle TransitiveReduction: %v", err)
+	}
+	return red.Edges()
+}
+
+func TestSubsetReducerMatchesInducedReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		n := 2 + int(rng.Int31n(16))
+		g := randomDAG(rng, n, 0.35)
+		sr, err := NewSubsetReducer(g)
+		if err != nil {
+			return false
+		}
+		labels := g.Vertices()
+		for trial := 0; trial < 6; trial++ {
+			var members []string
+			for _, v := range labels {
+				if rng.Float64() < 0.6 {
+					members = append(members, v)
+				}
+			}
+			got := sr.ReduceSubset(members)
+			want := oracleReduceSubset(t, g, members)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("subset %v: got %v, want %v", members, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetReducerFullSetMatchesTransitiveReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomDAG(rng, 12, 0.3)
+	sr, err := NewSubsetReducer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sr.ReduceSubset(g.Vertices())
+	red, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, red.Edges()) {
+		t.Fatalf("full-set reduction = %v, want %v", got, red.Edges())
+	}
+}
+
+func TestSubsetReducerIgnoresUnknownLabels(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"A", "C"})
+	sr, err := NewSubsetReducer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sr.ReduceSubset([]string{"A", "B", "C", "ghost"})
+	want := []Edge{{"A", "B"}, {"B", "C"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reduction = %v, want %v", got, want)
+	}
+	if edges := sr.ReduceSubset([]string{"ghost", "phantom"}); edges != nil {
+		t.Fatalf("all-unknown subset should reduce to nil, got %v", edges)
+	}
+	if edges := sr.ReduceSubset(nil); edges != nil {
+		t.Fatalf("empty subset should reduce to nil, got %v", edges)
+	}
+}
+
+func TestSubsetReducerRejectsCyclicGraph(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "A"})
+	if _, err := NewSubsetReducer(g); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("NewSubsetReducer on cycle: err = %v, want ErrCyclic", err)
+	}
+}
+
+// TestSubsetReducerConcurrent exercises the documented concurrency contract:
+// one reducer, many goroutines, all answers correct. Run with -race.
+func TestSubsetReducerConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomDAG(rng, 14, 0.35)
+	sr, err := NewSubsetReducer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := g.Vertices()
+	subsets := make([][]string, 16)
+	for i := range subsets {
+		for _, v := range labels {
+			if rng.Float64() < 0.5 {
+				subsets[i] = append(subsets[i], v)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([][]Edge, len(subsets))
+	for i := range subsets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sr.ReduceSubset(subsets[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range subsets {
+		want := oracleReduceSubset(t, g, subsets[i])
+		got := results[i]
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("subset %v: concurrent reduction = %v, want %v", subsets[i], got, want)
+		}
+	}
+}

@@ -149,6 +149,9 @@ var (
 	ErrTooManyActivities = core.ErrTooManyActivities
 	// ErrTooManyInstances is the Options.MaxInstanceLabels mining limit error.
 	ErrTooManyInstances = core.ErrTooManyInstances
+	// ErrInvalidEpsilon flags an Options.AdaptiveEpsilon outside (0, 0.5);
+	// every mining entry point rejects such options up front.
+	ErrInvalidEpsilon = core.ErrInvalidEpsilon
 )
 
 // Mine synthesizes a conformal process model graph from the log, choosing
