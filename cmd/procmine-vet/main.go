@@ -1,7 +1,7 @@
-// Command procmine-vet runs the procmine static-analysis suite: the four
+// Command procmine-vet runs the procmine static-analysis suite: the seven
 // go/analysis-style passes that mechanically enforce the invariants the
-// paper's conformality guarantees rest on (see DESIGN.md, "Static analysis
-// invariants").
+// paper's conformality and determinism guarantees rest on (see DESIGN.md,
+// "Static analysis invariants").
 //
 // Standalone, over package patterns:
 //
@@ -12,8 +12,18 @@
 //
 //	go vet -vettool=$(which procmine-vet) ./...
 //
-// Exit status: 0 when clean, 1 when any pass reports a finding, 2 when
-// loading or type-checking fails. Findings can be silenced per line with
+// Diagnostic baselines let CI gate on new findings only:
+//
+//	procmine-vet -baseline write BASELINE.json ./...   # accept the status quo
+//	procmine-vet -baseline check BASELINE.json ./...   # fail on new findings
+//
+// With -json, standalone findings (and -baseline check regressions) are
+// emitted as a JSON array of {file, line, pass, message} objects for CI
+// annotation tooling.
+//
+// Exit status: 0 when clean, 1 when any pass reports a finding (or any
+// non-baselined finding under -baseline check), 2 when loading or
+// type-checking fails. Findings can be silenced per line with
 // `//lint:ignore procmine <reason>` or
 // `//lint:ignore procmine/<pass> <reason>`.
 package main
@@ -25,14 +35,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"procmine/internal/analysis"
+	"procmine/internal/analysis/baseline"
 	"procmine/internal/analysis/driver"
 	"procmine/internal/analysis/passes/ctxflow"
 	"procmine/internal/analysis/passes/errlost"
+	"procmine/internal/analysis/passes/lockbalance"
 	"procmine/internal/analysis/passes/mapiterorder"
 	"procmine/internal/analysis/passes/noglobals"
+	"procmine/internal/analysis/passes/sharedcapture"
+	"procmine/internal/analysis/passes/wgprotocol"
 	"procmine/internal/analysis/vetcfg"
 )
 
@@ -41,8 +56,11 @@ func suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer(),
 		errlost.Analyzer(),
+		lockbalance.Analyzer(),
 		mapiterorder.Analyzer(),
 		noglobals.Analyzer(),
+		sharedcapture.Analyzer(),
+		wgprotocol.Analyzer(),
 	}
 }
 
@@ -63,8 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go tool-ID protocol)")
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "describe flags as JSON and exit (cmd/go vet-tool protocol)")
+	baselineFlag := fs.String("baseline", "", "baseline mode: 'write' records current findings to the baseline file, 'check' fails only on findings the baseline does not accept")
 	fs.Usage = func() {
-		say(stderr, "usage: procmine-vet [packages] | procmine-vet <unit>.cfg\n")
+		say(stderr, "usage: procmine-vet [packages] | procmine-vet -baseline write|check [FILE.json] [packages] | procmine-vet <unit>.cfg\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return vetcfg.Run(rest[0], suite(), *jsonFlag, stdout, stderr)
 	}
 
+	// Baseline modes take an optional leading FILE.json positional.
+	baselinePath := "BASELINE.json"
+	if *baselineFlag != "" && len(rest) > 0 && strings.HasSuffix(rest[0], ".json") {
+		baselinePath = rest[0]
+		rest = rest[1:]
+	}
+	switch *baselineFlag {
+	case "", "write", "check":
+	default:
+		say(stderr, "procmine-vet: -baseline must be 'write' or 'check', got %q\n", *baselineFlag)
+		return 2
+	}
+
 	if len(rest) == 0 {
 		rest = []string{"."}
 	}
@@ -91,11 +123,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 		say(stderr, "procmine-vet: %v\n", err)
 		return 2
 	}
+	wd, _ := os.Getwd()
+
+	switch *baselineFlag {
+	case "write":
+		if err := baseline.Write(baselinePath, baseline.FromFindings(wd, findings)); err != nil {
+			say(stderr, "procmine-vet: %v\n", err)
+			return 2
+		}
+		say(stderr, "procmine-vet: wrote %s accepting %d finding(s)\n", baselinePath, len(findings))
+		return 0
+	case "check":
+		base, err := baseline.Load(baselinePath)
+		if err != nil {
+			say(stderr, "procmine-vet: %v\n", err)
+			return 2
+		}
+		fresh := baseline.Diff(base, wd, findings)
+		if len(fresh) == 0 {
+			return 0
+		}
+		regressed := baseline.Select(fresh, wd, findings)
+		say(stderr, "procmine-vet: %d finding(s) not accepted by %s\n", len(regressed), baselinePath)
+		return emit(stdout, stderr, wd, regressed, *jsonFlag)
+	}
+
 	if len(findings) == 0 {
 		return 0
 	}
-	wd, _ := os.Getwd()
-	driver.Format(stdout, wd, findings)
+	return emit(stdout, stderr, wd, findings, *jsonFlag)
+}
+
+// emit prints findings in the requested format and returns the finding
+// exit status.
+func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON bool) int {
+	if !asJSON {
+		driver.Format(stdout, wd, findings)
+		return 1
+	}
+	type jsonFinding struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		out = append(out, jsonFinding{
+			File:    filepath.ToSlash(name),
+			Line:    f.Pos.Line,
+			Pass:    f.Analyzer,
+			Message: f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
+	say(stdout, "%s\n", data)
 	return 1
 }
 

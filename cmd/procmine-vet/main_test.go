@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,7 +40,7 @@ func TestFlagsHandshake(t *testing.T) {
 	for _, f := range flags {
 		names[f.Name] = true
 	}
-	for _, want := range []string{"V", "json", "flags"} {
+	for _, want := range []string{"V", "json", "flags", "baseline"} {
 		if !names[want] {
 			t.Errorf("-flags output missing flag %q: %s", want, stdout.String())
 		}
@@ -61,5 +63,51 @@ func TestSelfClean(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestBadBaselineMode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", "merge", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-baseline merge exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "'write' or 'check'") {
+		t.Errorf("stderr missing mode hint: %s", stderr.String())
+	}
+}
+
+func TestBaselineCheckMissingFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	var stdout, stderr strings.Builder
+	path := filepath.Join(t.TempDir(), "nope.json")
+	if code := run([]string{"-baseline", "check", path, "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("check against missing baseline exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline for this (clean) package and
+// immediately checks against it.
+func TestBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BASELINE.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", "write", path, "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-baseline write exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "procmine-vet-baseline/v1") {
+		t.Errorf("baseline file missing schema marker:\n%s", data)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "check", path, "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-baseline check exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
 }

@@ -1,0 +1,424 @@
+// Package cfg builds intra-function control-flow graphs over go/ast,
+// without types and without third-party dependencies. It is the dataflow
+// substrate for the concurrency passes (lockbalance, wgprotocol,
+// sharedcapture): the syntax-level walkers that carried the original suite
+// cannot answer "on every path" or "reachable before" questions, and the
+// byte-identical determinism of the parallel follows scan and marking pass
+// (DESIGN.md §10) rests on exactly such path properties.
+//
+// The graph is intra-function and intraprocedural: one CFG per function
+// body, with function literals excluded from the enclosing graph (build a
+// separate CFG for each literal's body; FuncBodies enumerates them).
+// Blocks hold only simple statements and the condition/tag expressions of
+// the control statements that terminate them, so a node never embeds the
+// body of a branch it guards — the one exception is statements that embed a
+// *ast.FuncLit (go/defer/assignment of a closure), which is why node
+// scanners must prune literals (EachCall does).
+//
+// Modeling decisions, chosen for the must/may queries in paths.go:
+//
+//   - return edges to a synthetic Exit block; falling off the end of the
+//     body does too.
+//   - panic(...) statements edge to Exit: the paths the concurrency passes
+//     ask about ("is the lock released?", "is Done called?") end there just
+//     as at a return. Other terminating calls (os.Exit, log.Fatal) are not
+//     modeled.
+//   - defer statements stay in their block as ordinary nodes and are also
+//     collected in CFG.Defers. A query that treats "defer mu.Unlock()" as
+//     satisfying "Unlock on every later path" is sound because reaching the
+//     defer schedules the call for every subsequent exit.
+//   - for/range headers may exit to the after-block (zero iterations);
+//     `for {}` without a condition has no such edge.
+//   - select without a default has no edge from the head to the
+//     after-block: it parks until a case is ready. A select with no cases
+//     blocks forever (no successors).
+//   - loops that cannot exit simply have no path to Exit; the must-reach
+//     query treats such paths as vacuously satisfied.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of straight-line nodes.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (creation order; Entry
+	// is 0, Exit is 1).
+	Index int
+	// Kind names the construct that created the block ("entry", "exit",
+	// "for.head", "select.default", ...) for diagnostics and goldens.
+	Kind string
+	// Nodes are the block's statements and guard expressions in execution
+	// order.
+	Nodes []ast.Node
+	// Succs are the possible successors in deterministic build order.
+	Succs []*Block
+	// Preds are the predecessors, filled symmetrically with Succs.
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the unique entry block.
+	Entry *Block
+	// Exit is the synthetic exit block every return/panic/fall-off edge
+	// targets. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, including unreachable continuation blocks
+	// created after return/branch statements.
+	Blocks []*Block
+	// Defers are the defer statements encountered anywhere in the body, in
+	// source order.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &builder{c: c, labels: make(map[string]*Block)}
+	c.Entry = b.newBlock("entry")
+	c.Exit = b.newBlock("exit")
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, c.Exit)
+	for _, g := range b.gotos {
+		if dst, ok := b.labels[g.label]; ok {
+			b.edge(g.from, dst)
+		}
+	}
+	return c
+}
+
+// pendingGoto is a goto edge resolved after the whole body is built, so
+// forward jumps find their label.
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// target is one enclosing breakable construct.
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type builder struct {
+	c       *CFG
+	cur     *Block
+	targets []target
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	// fallthroughTo is the next case clause's block while building a
+	// switch clause body.
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.c.Blocks), Kind: kind}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.Exit)
+		b.cur = b.newBlock("unreachable.return")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.c.Defers = append(b.c.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.edge(b.cur, b.c.Exit)
+			b.cur = b.newBlock("unreachable.panic")
+		}
+	case nil:
+		// Empty else branch and the like.
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// isPanic recognizes a direct call of the predeclared panic. cfg has no
+// type information, so a local function shadowing panic would be
+// misclassified; the passes tolerate the resulting extra exit edge.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	after := b.newBlock("if.done")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.done")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		continueTo = post
+	}
+	if label != "" {
+		b.labels[label] = head
+	}
+	b.targets = append(b.targets, target{label: label, breakTo: after, continueTo: continueTo})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, continueTo)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged expression is evaluated once, before iteration.
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.done")
+	b.edge(head, body)
+	b.edge(head, after)
+	if label != "" {
+		b.labels[label] = head
+	}
+	b.targets = append(b.targets, target{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, true)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body.List, label, false)
+}
+
+// caseClauses builds the clause fan-out shared by switch and type switch.
+// allowFallthrough wires fallthrough edges for expression switches.
+func (b *builder) caseClauses(list []ast.Stmt, label string, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock("switch.done")
+	blocks := make([]*Block, len(list))
+	hasDefault := false
+	for i, cs := range list {
+		cc := cs.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.targets = append(b.targets, target{label: label, breakTo: after})
+	savedFallthrough := b.fallthroughTo
+	for i, cs := range list {
+		cc := cs.(*ast.CaseClause)
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(list) {
+			b.fallthroughTo = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallthroughTo = savedFallthrough
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock("select.done")
+	b.targets = append(b.targets, target{label: label, breakTo: after})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		kind := "select.comm"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	// No default: the select parks until a communication is ready, so the
+	// only way past it is through a clause (or never, with no clauses).
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	label := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, label)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, label)
+	default:
+		// Plain goto target: start a fresh block so the label names a
+		// join point.
+		blk := b.newBlock("label." + label)
+		b.edge(b.cur, blk)
+		b.labels[label] = blk
+		b.cur = blk
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(label, false); t != nil {
+			b.edge(b.cur, t.breakTo)
+		}
+		b.cur = b.newBlock("unreachable.break")
+	case token.CONTINUE:
+		if t := b.findTarget(label, true); t != nil {
+			b.edge(b.cur, t.continueTo)
+		}
+		b.cur = b.newBlock("unreachable.continue")
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.cur = b.newBlock("unreachable.goto")
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.edge(b.cur, b.fallthroughTo)
+		}
+		b.cur = b.newBlock("unreachable.fallthrough")
+	}
+}
+
+// findTarget resolves a break/continue target: the innermost enclosing
+// construct, or the one carrying the label. needContinue restricts the
+// search to loops.
+func (b *builder) findTarget(label string, needContinue bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}

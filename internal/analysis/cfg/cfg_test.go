@@ -1,0 +1,291 @@
+package cfg_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"procmine/internal/analysis/cfg"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG fixtures")
+
+// parseFixture parses testdata/funcs.go and returns its function
+// declarations by name.
+func parseFixture(t *testing.T) (*token.FileSet, map[string]*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	decls := make(map[string]*ast.FuncDecl)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			decls[fd.Name.Name] = fd
+		}
+	}
+	return fset, decls
+}
+
+// TestGolden builds the CFG of every fixture function and compares the
+// rendered graph with its committed golden file. Run with -update to
+// regenerate after intentional builder changes.
+func TestGolden(t *testing.T) {
+	fset, decls := parseFixture(t)
+	names := []string{
+		"straightline", "ifElse", "labeledBreakContinue", "selectWithDefault",
+		"selectNoDefault", "deferInLoop", "earlyReturnInRange",
+		"switchFallthrough", "gotoRetry", "infiniteLoop",
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			fd, ok := decls[name]
+			if !ok {
+				t.Fatalf("fixture function %s not found", name)
+			}
+			got := cfg.New(fd.Body).Format(fset)
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o666); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// parseFunc builds a CFG from a single function body given as source.
+func parseFunc(t *testing.T, body string) (*token.FileSet, *cfg.CFG) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", body, err)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return fset, cfg.New(fd.Body)
+}
+
+// matchCall matches block nodes containing a call rendered as sel() — e.g.
+// "mu.Unlock" matches both mu.Unlock() and defer mu.Unlock().
+func matchCall(fset *token.FileSet, sel string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		cfg.EachCall(n, func(call *ast.CallExpr) {
+			if render(call.Fun) == sel {
+				found = true
+			}
+		})
+		return found
+	}
+}
+
+func render(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	}
+	return ""
+}
+
+func TestMustReach(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight", "mu.Lock(); mu.Unlock()", true},
+		{"deferred", "mu.Lock(); defer mu.Unlock(); work()", true},
+		{"missedBranch", "mu.Lock()\nif c {\nreturn\n}\nmu.Unlock()", false},
+		{"bothBranches", "mu.Lock()\nif c {\nmu.Unlock()\nreturn\n}\nmu.Unlock()", true},
+		{"missedPanic", "mu.Lock()\nif c {\npanic(\"x\")\n}\nmu.Unlock()", false},
+		{"loopBody", "mu.Lock()\nfor i := 0; i < n; i++ {\nwork()\n}\nmu.Unlock()", true},
+		// An infinite loop never reaches Exit, so the only escaping path
+		// (the conditional return before it) decides the answer.
+		{"infinite", "mu.Lock()\nif c {\nmu.Unlock()\nreturn\n}\nfor {\nwork()\n}", true},
+		{"infiniteLeak", "mu.Lock()\nif c {\nreturn\n}\nfor {\nwork()\n}", false},
+		// The unlock inside a closure does not count: literals are pruned.
+		{"closure", "mu.Lock()\ngo func() {\nmu.Unlock()\n}()", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, g := parseFunc(t, tc.body)
+			lock := matchCall(fset, "mu.Lock")
+			unlock := matchCall(fset, "mu.Unlock")
+			blk, idx, ok := findNode(g, lock)
+			if !ok {
+				t.Fatal("Lock node not found")
+			}
+			if got := g.MustReach(blk, idx+1, unlock); got != tc.want {
+				t.Errorf("MustReach = %v, want %v\n%s", got, tc.want, g.Format(fset))
+			}
+		})
+	}
+}
+
+func TestMayReachWithout(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"waitAfterAdd", "wg.Add(1)\nwg.Wait()", false},
+		{"waitBeforeAdd", "wg.Wait()\nwg.Add(1)", true},
+		{"addInZeroTripLoop", "for i := 0; i < n; i++ {\nwg.Add(1)\n}\nwg.Wait()", true},
+		{"addInLoopBeforeWait", "for {\nwg.Add(1)\nwg.Wait()\n}", false},
+		{"addOneBranch", "if c {\nwg.Add(1)\n}\nwg.Wait()", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, g := parseFunc(t, tc.body)
+			wait := matchCall(fset, "wg.Wait")
+			add := matchCall(fset, "wg.Add")
+			if got := g.MayReachWithout(g.Entry, 0, wait, add); got != tc.want {
+				t.Errorf("MayReachWithout = %v, want %v\n%s", got, tc.want, g.Format(fset))
+			}
+		})
+	}
+}
+
+func TestReachesAndFind(t *testing.T) {
+	fset, g := parseFunc(t, "a()\nif c {\nb()\nreturn\n}\nd()")
+	aM, bM, dM := matchCall(fset, "a"), matchCall(fset, "b"), matchCall(fset, "d")
+	blk, idx, ok := findNode(g, bM)
+	if !ok {
+		t.Fatal("b() node not found")
+	}
+	if g.Reaches(blk, idx+1, dM) {
+		t.Error("d() should be unreachable after b() (return intervenes)")
+	}
+	if !g.Reaches(g.Entry, 0, dM) || !g.Reaches(g.Entry, 0, aM) {
+		t.Error("a() and d() should be reachable from entry")
+	}
+	// Find locates the enclosing block node of a nested expression.
+	var call *ast.CallExpr
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.EachCall(n, func(c *ast.CallExpr) {
+				if render(c.Fun) == "d" {
+					call = c
+				}
+			})
+		}
+	}
+	if call == nil {
+		t.Fatal("d() call not found in any block")
+	}
+	if fb, fi, ok := g.Find(call); !ok || fb.Nodes[fi].Pos() > call.Pos() || fb.Nodes[fi].End() < call.End() {
+		t.Errorf("Find misplaced d(): ok=%v", ok)
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	_, g := parseFunc(t, "a()\nif c {\nb()\n}\nd()")
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("reverse postorder must start at entry")
+	}
+	pos := make(map[int]int)
+	for i, b := range rpo {
+		pos[b.Index] = i
+	}
+	// Entry precedes everything; exit follows every block that reaches it.
+	for _, b := range rpo {
+		if b == g.Entry {
+			continue
+		}
+		if pos[b.Index] <= pos[g.Entry.Index] {
+			t.Errorf("block b%d ordered before entry", b.Index)
+		}
+	}
+	if pos[g.Exit.Index] != len(rpo)-1 {
+		t.Errorf("exit should be last in this acyclic graph, got position %d", pos[g.Exit.Index])
+	}
+}
+
+// TestDefersCollected checks defer statements are recorded in source order,
+// including defers inside loops.
+func TestDefersCollected(t *testing.T) {
+	_, g := parseFunc(t, "defer a()\nfor _, f := range fs {\ndefer f()\n}\ndefer b()")
+	if len(g.Defers) != 3 {
+		t.Fatalf("Defers = %d, want 3", len(g.Defers))
+	}
+	for i := 1; i < len(g.Defers); i++ {
+		if g.Defers[i].Pos() <= g.Defers[i-1].Pos() {
+			t.Error("Defers not in source order")
+		}
+	}
+}
+
+// TestBodies checks every function body — declarations and literals — is
+// visited exactly once.
+func TestBodies(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+func a() { go func() { x() }() }
+func b() { f := func() {}; f() }
+`
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	cfg.Bodies(file, func(body *ast.BlockStmt) { n++ })
+	if n != 4 {
+		t.Errorf("Bodies visited %d bodies, want 4 (2 decls + 2 literals)", n)
+	}
+}
+
+// TestEachCallPrunesLiterals checks calls inside closures are not
+// attributed to the enclosing statement.
+func TestEachCallPrunesLiterals(t *testing.T) {
+	fset, g := parseFunc(t, "go func() {\ninner()\n}()\nouter()")
+	var got []string
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			cfg.EachCall(n, func(call *ast.CallExpr) {
+				if s := render(call.Fun); s != "" {
+					got = append(got, s)
+				}
+			})
+		}
+	}
+	joined := strings.Join(got, ",")
+	if strings.Contains(joined, "inner") {
+		t.Errorf("EachCall leaked closure-internal call: %v", got)
+	}
+	if !strings.Contains(joined, "outer") {
+		t.Errorf("EachCall missed top-level call: %v", got)
+	}
+	_ = fset
+}
+
+// findNode locates the first block node matching m, scanning blocks in
+// index order.
+func findNode(g *cfg.CFG, m func(ast.Node) bool) (*cfg.Block, int, bool) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if m(n) {
+				return b, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}

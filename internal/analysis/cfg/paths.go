@@ -1,0 +1,188 @@
+package cfg
+
+import "go/ast"
+
+// This file holds the path queries the concurrency passes are built on.
+// They are deliberately dominance-free: each is a plain reachability
+// traversal over blocks, linear in the graph, with the node predicates
+// supplied by the caller. Loops that cannot reach Exit satisfy must-reach
+// queries vacuously — a path that never returns never needs to have
+// released anything.
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder: every block before its successors, except across back edges.
+// The order is deterministic (successor creation order).
+func (c *CFG) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		post = append(post, b)
+	}
+	visit(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// MustReach reports whether every path from block b — starting at node
+// index from — to Exit passes through a node matching match. It answers
+// "is the lock always released?" / "is Done always called?": a defer node
+// counts if match accepts it, since reaching a defer schedules its call for
+// every subsequent exit.
+//
+// The implementation checks the negation: a path to Exit that crosses no
+// matching node. Blocks containing a match block every path through them,
+// so the traversal is a reachability scan over non-matching blocks.
+func (c *CFG) MustReach(b *Block, from int, match func(ast.Node) bool) bool {
+	for _, n := range nodesFrom(b, from) {
+		if match(n) {
+			return true
+		}
+	}
+	if b == c.Exit {
+		return false
+	}
+	seen := make(map[*Block]bool, len(c.Blocks))
+	stack := append([]*Block(nil), b.Succs...)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		if blk == c.Exit {
+			return false
+		}
+		if blockMatches(blk, match) {
+			continue
+		}
+		stack = append(stack, blk.Succs...)
+	}
+	return true
+}
+
+// MayReachWithout reports whether some path from block b — starting at node
+// index from — reaches a node matching target without first crossing a node
+// matching barrier. It answers "can Wait execute before any Add?". Within a
+// block, nodes are tested in execution order, so a barrier earlier in the
+// same block shields a later target.
+func (c *CFG) MayReachWithout(b *Block, from int, target, barrier func(ast.Node) bool) bool {
+	found, blocked := scanNodes(nodesFrom(b, from), target, barrier)
+	if found {
+		return true
+	}
+	if blocked {
+		return false
+	}
+	seen := make(map[*Block]bool, len(c.Blocks))
+	stack := append([]*Block(nil), b.Succs...)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		found, blocked := scanNodes(blk.Nodes, target, barrier)
+		if found {
+			return true
+		}
+		if blocked {
+			continue
+		}
+		stack = append(stack, blk.Succs...)
+	}
+	return false
+}
+
+// Reaches reports whether some path from block b, starting at node index
+// from, crosses a node matching target.
+func (c *CFG) Reaches(b *Block, from int, target func(ast.Node) bool) bool {
+	return c.MayReachWithout(b, from, target, func(ast.Node) bool { return false })
+}
+
+// Find locates the block node whose subtree contains n, returning the block
+// and node index. It relies on position containment, which is exact for
+// nodes parsed from the same file set.
+func (c *CFG) Find(n ast.Node) (*Block, int, bool) {
+	for _, blk := range c.Blocks {
+		for i, node := range blk.Nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				return blk, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// scanNodes tests nodes in order: (true, _) when target matches first,
+// (false, true) when a barrier matches first.
+func scanNodes(nodes []ast.Node, target, barrier func(ast.Node) bool) (found, blocked bool) {
+	for _, n := range nodes {
+		if target(n) {
+			return true, false
+		}
+		if barrier(n) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+func blockMatches(b *Block, match func(ast.Node) bool) bool {
+	for _, n := range b.Nodes {
+		if match(n) {
+			return true
+		}
+	}
+	return false
+}
+
+func nodesFrom(b *Block, from int) []ast.Node {
+	if from >= len(b.Nodes) {
+		return nil
+	}
+	return b.Nodes[from:]
+}
+
+// EachCall walks the subtree of one block node and invokes fn for every
+// call expression, pruning function literals: a closure's calls belong to
+// the closure's own CFG, not to the block that mentions the closure.
+func EachCall(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// Bodies invokes fn for every function body in file — declarations and
+// function literals — in source order, outermost before nested. Each body
+// is its own CFG unit: a literal's statements never appear as nodes of the
+// enclosing function's graph.
+func Bodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Format renders the graph deterministically for golden tests and
+// debugging: one line per block in creation order, with each node printed
+// as single-line Go source and successor lists by block index.
+//
+//	b0 entry: [mu.Lock()] -> b2
+//	b2 for.head: [i < n] -> b3 b4
+func (c *CFG) Format(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Kind)
+		if len(b.Nodes) > 0 {
+			sb.WriteString(" [")
+			for i, n := range b.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(nodeString(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeString prints a node as one line of Go source, collapsing the
+// newlines and tabs go/printer emits for multi-line nodes (e.g. statements
+// containing function literals).
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

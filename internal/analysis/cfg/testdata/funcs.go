@@ -1,0 +1,112 @@
+// Package funcs holds the golden-CFG fixture functions. The file lives
+// under testdata so the go tool never compiles it; cfg_test.go parses it
+// and compares each function's built graph against <FuncName>.golden.
+package funcs
+
+func straightline(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}
+
+func labeledBreakContinue(grid [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(grid); i++ {
+		for _, v := range grid[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func selectWithDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+func selectNoDefault(a, b chan int) int {
+	var got int
+	select {
+	case got = <-a:
+	case got = <-b:
+		got *= 2
+	}
+	return got
+}
+
+func deferInLoop(files []string, open func(string) (func(), error)) error {
+	for _, f := range files {
+		closer, err := open(f)
+		if err != nil {
+			return err
+		}
+		defer closer()
+	}
+	return nil
+}
+
+func earlyReturnInRange(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func switchFallthrough(n int) string {
+	s := ""
+	switch n {
+	case 0:
+		s = "zero"
+		fallthrough
+	case 1:
+		s += "one"
+	default:
+		s = "many"
+	}
+	return s
+}
+
+func gotoRetry(try func() bool) {
+	n := 0
+retry:
+	if !try() {
+		n++
+		if n < 3 {
+			goto retry
+		}
+		panic("giving up")
+	}
+}
+
+func infiniteLoop(ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			if v == 0 {
+				return
+			}
+		}
+	}
+}

@@ -8,8 +8,11 @@ import (
 	"procmine/internal/analysis/driver"
 	"procmine/internal/analysis/passes/ctxflow"
 	"procmine/internal/analysis/passes/errlost"
+	"procmine/internal/analysis/passes/lockbalance"
 	"procmine/internal/analysis/passes/mapiterorder"
 	"procmine/internal/analysis/passes/noglobals"
+	"procmine/internal/analysis/passes/sharedcapture"
+	"procmine/internal/analysis/passes/wgprotocol"
 )
 
 // TestSelfCheck runs the full suite over the whole module and requires it to
@@ -23,8 +26,11 @@ func TestSelfCheck(t *testing.T) {
 	suite := []*analysis.Analyzer{
 		ctxflow.Analyzer(),
 		errlost.Analyzer(),
+		lockbalance.Analyzer(),
 		mapiterorder.Analyzer(),
 		noglobals.Analyzer(),
+		sharedcapture.Analyzer(),
+		wgprotocol.Analyzer(),
 	}
 	findings, err := driver.Run([]string{"procmine/..."}, suite)
 	if err != nil {

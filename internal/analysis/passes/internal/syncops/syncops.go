@@ -1,0 +1,220 @@
+// Package syncops classifies calls on the sync primitives the concurrency
+// passes reason about — sync.Mutex/sync.RWMutex/sync.Locker lock pairs and
+// sync.WaitGroup protocol calls — and derives a canonical key for the
+// receiver value so two calls can be recognized as operating on the same
+// mutex or wait group.
+//
+// Keys are built from the chain of resolved identifiers in the receiver
+// expression ("s.mu" keys on the object of s plus the field path), so
+// shadowing cannot alias two distinct values. Receivers the scheme cannot
+// canonicalize (indexed or call-derived expressions) classify as not-ok and
+// the passes skip them — conservative in the direction of no false
+// positives.
+package syncops
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"procmine/internal/analysis/cfg"
+)
+
+// Kind is the protocol role of a classified call.
+type Kind int
+
+const (
+	// Invalid marks the zero Op.
+	Invalid Kind = iota
+	// Lock is Mutex.Lock, RWMutex.Lock, or Locker.Lock.
+	Lock
+	// Unlock is Mutex.Unlock, RWMutex.Unlock, or Locker.Unlock.
+	Unlock
+	// RLock is RWMutex.RLock.
+	RLock
+	// RUnlock is RWMutex.RUnlock.
+	RUnlock
+	// Add is WaitGroup.Add.
+	Add
+	// Done is WaitGroup.Done.
+	Done
+	// Wait is WaitGroup.Wait.
+	Wait
+)
+
+// String names the kind as the method it classifies.
+func (k Kind) String() string {
+	switch k {
+	case Lock:
+		return "Lock"
+	case Unlock:
+		return "Unlock"
+	case RLock:
+		return "RLock"
+	case RUnlock:
+		return "RUnlock"
+	case Add:
+		return "Add"
+	case Done:
+		return "Done"
+	case Wait:
+		return "Wait"
+	}
+	return "Invalid"
+}
+
+// Op is one classified sync call.
+type Op struct {
+	// Kind is the protocol role.
+	Kind Kind
+	// Key canonically identifies the receiver value; two Ops with equal
+	// keys operate on the same mutex or wait group.
+	Key string
+	// Root is the object of the leftmost identifier in the receiver
+	// chain, for capture analysis.
+	Root types.Object
+	// Recv is the receiver expression, for diagnostics.
+	Recv ast.Expr
+	// Call is the classified call.
+	Call *ast.CallExpr
+}
+
+// Classify reports whether call is a sync primitive operation with a
+// canonicalizable receiver.
+func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	var obj types.Object
+	if s, ok := info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	recvName := recvTypeName(fn)
+	var kind Kind
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		// Mutex, RWMutex, or the Locker interface; excludes e.g. a
+		// same-named method on a non-sync type.
+		if recvName != "Mutex" && recvName != "RWMutex" && recvName != "Locker" {
+			return Op{}, false
+		}
+		kind = Lock
+		if fn.Name() == "Unlock" {
+			kind = Unlock
+		}
+	case "RLock", "RUnlock":
+		if recvName != "RWMutex" {
+			return Op{}, false
+		}
+		kind = RLock
+		if fn.Name() == "RUnlock" {
+			kind = RUnlock
+		}
+	case "Add", "Done", "Wait":
+		if recvName != "WaitGroup" {
+			return Op{}, false
+		}
+		switch fn.Name() {
+		case "Add":
+			kind = Add
+		case "Done":
+			kind = Done
+		default:
+			kind = Wait
+		}
+	default:
+		return Op{}, false
+	}
+	key, root, ok := KeyOf(info, sel.X)
+	if !ok {
+		return Op{}, false
+	}
+	return Op{Kind: kind, Key: key, Root: root, Recv: sel.X, Call: call}, true
+}
+
+// recvTypeName is the name of fn's receiver type with pointers stripped, or
+// "" for non-methods.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		// Locker methods resolve with an interface receiver; recover the
+		// name from the method's scope-owning named type if present.
+		return "Locker"
+	}
+	return ""
+}
+
+// KeyOf canonicalizes a receiver expression into an identity key and its
+// root object. It handles identifier/selector/star chains; anything else
+// (indexing, calls) is not canonicalizable.
+func KeyOf(info *types.Info, e ast.Expr) (key string, root types.Object, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return "", nil, false
+		}
+		// The declaration position makes the key stable across shadowing.
+		return fmt.Sprintf("%s@%d", x.Name, obj.Pos()), obj, true
+	case *ast.SelectorExpr:
+		base, rootObj, ok := KeyOf(info, x.X)
+		if !ok {
+			return "", nil, false
+		}
+		return base + "." + x.Sel.Name, rootObj, true
+	case *ast.StarExpr:
+		return KeyOf(info, x.X)
+	}
+	return "", nil, false
+}
+
+// Render prints a receiver expression for diagnostics ("s.mu"), best
+// effort.
+func Render(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return Render(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return Render(x.X)
+	}
+	return "?"
+}
+
+// NodeHasOp reports whether the block node n contains a call (outside
+// nested function literals) classifying as kind on key. Calls inside defer
+// statements count: reaching the defer schedules the operation for every
+// subsequent exit, which is exactly the guarantee path queries need.
+func NodeHasOp(info *types.Info, n ast.Node, key string, kind Kind) bool {
+	found := false
+	cfg.EachCall(n, func(call *ast.CallExpr) {
+		if found {
+			return
+		}
+		if op, ok := Classify(info, call); ok && op.Key == key && op.Kind == kind {
+			found = true
+		}
+	})
+	return found
+}

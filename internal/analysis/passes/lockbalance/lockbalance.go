@@ -1,0 +1,116 @@
+// Package lockbalance enforces lock/unlock balance over the control-flow
+// graph: every sync.Mutex/RWMutex/Locker Lock must reach a matching Unlock
+// on every path to return (a deferred Unlock counts, since reaching the
+// defer schedules the release for every subsequent exit), and read locks
+// must pair with RUnlock rather than Unlock.
+//
+// Why here: the parallel follows scan and the Algorithm 2 marking pass
+// (DESIGN.md §10) derive byte-identical determinism from worker-private
+// state plus commutative merges, so any future locking added around shared
+// accumulators must be airtight — a Lock leaked on an error path deadlocks
+// the next mining call rather than failing loudly. The pass is
+// intra-function: a lock acquired in one function and released in another
+// is reported, and if that split is intentional the site needs a reasoned
+// //lint:ignore procmine/lockbalance directive.
+package lockbalance
+
+import (
+	"go/ast"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/cfg"
+	"procmine/internal/analysis/passes/internal/syncops"
+)
+
+// Analyzer returns the lockbalance pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockbalance",
+		Doc:  "enforces that every Lock/RLock is released by the matching unlock on all CFG paths",
+		Run:  run,
+	}
+}
+
+// inScope restricts the pass to this module's production code; concurrency
+// invariants are load-bearing everywhere procmine code runs goroutines.
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/") || strings.HasPrefix(path, "procmine")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		cfg.Bodies(file, func(body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			// The acquisition must execute at this program point: a lock
+			// inside a defer or go statement runs elsewhere (at exit, or on
+			// another goroutine) and is not an acquisition on this path.
+			if skipNode(n) {
+				continue
+			}
+			blk, idx := b, i
+			cfg.EachCall(n, func(call *ast.CallExpr) {
+				checkAcquire(pass, g, blk, idx, call)
+			})
+		}
+	}
+}
+
+func skipNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return true
+	}
+	return false
+}
+
+func checkAcquire(pass *analysis.Pass, g *cfg.CFG, b *cfg.Block, i int, call *ast.CallExpr) {
+	op, ok := syncops.Classify(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	var want, wrong syncops.Kind
+	switch op.Kind {
+	case syncops.Lock:
+		want, wrong = syncops.Unlock, syncops.RUnlock
+	case syncops.RLock:
+		want, wrong = syncops.RUnlock, syncops.Unlock
+	default:
+		return
+	}
+	matchWant := func(n ast.Node) bool {
+		return syncops.NodeHasOp(pass.TypesInfo, n, op.Key, want)
+	}
+	if g.MustReach(b, i+1, matchWant) {
+		return
+	}
+	recv := syncops.Render(op.Recv)
+	matchWrong := func(n ast.Node) bool {
+		return syncops.NodeHasOp(pass.TypesInfo, n, op.Key, wrong)
+	}
+	if g.MustReach(b, i+1, matchWrong) {
+		pass.Reportf(call.Pos(),
+			"%s.%s() is released with %s; read and write lock operations must pair (%s goes with %s)",
+			recv, op.Kind, wrong, op.Kind, want)
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s() is not released on every path to return; release on each branch or `defer %s.%s()` immediately after acquiring",
+		recv, op.Kind, recv, want)
+}

@@ -1,0 +1,19 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/lockbalance"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer(), "a")
+}
+
+// TestLockBalanceScope proves the pass is scoped to procmine packages: the
+// same leak that fires in fixture a is silent when the package path falls
+// outside internal/.
+func TestLockBalanceScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", lockbalance.Analyzer(), "b")
+}

@@ -1,0 +1,79 @@
+package a
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leakOnBranch forgets the unlock on the early-return path.
+func leakOnBranch(s *store, fail bool) int {
+	s.mu.Lock() // want "s\\.mu\\.Lock\\(\\) is not released on every path to return"
+	if fail {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// wrongPair releases a read lock with the write unlock.
+func wrongPair(s *store) int {
+	s.rw.RLock() // want "read and write lock operations must pair \\(RLock goes with RUnlock\\)"
+	defer s.rw.Unlock()
+	return s.n
+}
+
+// leakOnPanic forgets the unlock on the panic path.
+func leakOnPanic(s *store, bad bool) int {
+	s.mu.Lock() // want "s\\.mu\\.Lock\\(\\) is not released on every path to return"
+	if bad {
+		panic("bad")
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// deferred is the canonical clean form.
+func deferred(s *store) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// perBranch releases explicitly on every path.
+func perBranch(s *store, fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// readLock pairs RLock with RUnlock.
+func readLock(s *store) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// acrossLoop holds the lock across a loop that always terminates into the
+// unlock.
+func acrossLoop(s *store, xs []int) int {
+	s.mu.Lock()
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.mu.Unlock()
+	return sum
+}
+
+// handoff intentionally transfers release responsibility to the caller.
+func handoff(s *store) {
+	//lint:ignore procmine/lockbalance caller releases via store.close
+	s.mu.Lock()
+}

@@ -1,0 +1,13 @@
+package b
+
+import "sync"
+
+// leak would be a finding in scope; package b's synthetic import path falls
+// outside the procmine scope predicate, so the pass must stay silent.
+func leak(mu *sync.Mutex, fail bool) {
+	mu.Lock()
+	if fail {
+		return
+	}
+	mu.Unlock()
+}

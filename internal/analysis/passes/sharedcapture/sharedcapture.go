@@ -1,0 +1,448 @@
+// Package sharedcapture flags closures handed to `go` statements (or to
+// worker-pool submission methods named Go/Submit/Spawn) that couple the
+// goroutine to shared mutable state:
+//
+//   - capturing an iteration variable of an enclosing loop. The repo's
+//     parallel code (internal/core/parallel.go) passes iteration state as
+//     arguments so each worker owns its inputs; capture couples the
+//     goroutine to the loop and, under pre-1.22 semantics, aliases every
+//     iteration onto one variable. The explicit-argument idiom is enforced
+//     uniformly so the sharding code stays reviewable.
+//
+//   - mutating captured shared state outside a held lock: assignments,
+//     inc/dec, and append-style self-assignments whose target is (or roots
+//     at) a variable declared outside the closure. Channel operations and
+//     sync/atomic method calls are inherently exempt (they are calls, not
+//     assignments). Writes into a captured slice or array at an index that
+//     is goroutine-local are exempt — that is the sharded-accumulator
+//     idiom (`shards[w] = ...` with w a closure parameter) whose
+//     disjointness the determinism argument of DESIGN.md §10 rests on. Map
+//     writes are never exempt: the Go runtime forbids concurrent map
+//     writes regardless of key disjointness.
+//
+// A mutation is "outside a held lock" per a forward must-held dataflow over
+// the closure's CFG: a write is exempt only when every path from the
+// closure entry to the write holds at least one sync.Mutex/RWMutex lock at
+// that point (deferred unlocks do not release mid-body). The pass does not
+// verify that readers use the same lock — that is the race detector's job;
+// the static half keeps the obvious unguarded writes out of the tree.
+package sharedcapture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/cfg"
+	"procmine/internal/analysis/passes/internal/syncops"
+)
+
+// Analyzer returns the sharedcapture pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "sharedcapture",
+		Doc:  "flags goroutine closures that capture loop variables or mutate captured shared state outside a held lock",
+		Run:  run,
+	}
+}
+
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/") || strings.HasPrefix(path, "procmine")
+}
+
+// submissionNames are callee names treated as asynchronous execution of a
+// function-literal argument, mirroring common worker-pool APIs.
+func isSubmissionName(name string) bool {
+	return name == "Go" || name == "Submit" || name == "Spawn"
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			if lit := spawnLit(n); lit != nil {
+				checkSpawn(pass, lit, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnLit returns the function literal a node spawns asynchronously, or
+// nil.
+func spawnLit(n ast.Node) *ast.FuncLit {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			return lit
+		}
+	case *ast.CallExpr:
+		name := ""
+		switch fun := ast.Unparen(n.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if !isSubmissionName(name) {
+			return nil
+		}
+		for _, arg := range n.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				return lit
+			}
+		}
+	}
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	checkLoopCapture(pass, lit, stack)
+	checkSharedMutation(pass, lit)
+}
+
+// checkLoopCapture reports reads of enclosing-loop iteration variables
+// inside the spawned closure.
+func checkLoopCapture(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	loopVars := make(map[types.Object]string)
+	record := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			loopVars[obj] = id.Name
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			// for i, v = range with pre-declared variables.
+			loopVars[obj] = id.Name
+		}
+	}
+	for _, anc := range stack {
+		switch s := anc.(type) {
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				record(s.Key)
+			}
+			if s.Value != nil {
+				record(s.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					record(lhs)
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		name, isLoopVar := loopVars[obj]
+		if !isLoopVar || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"goroutine closure captures loop variable %s; pass it as an argument so each goroutine owns its iteration state",
+			name)
+		return true
+	})
+}
+
+// mutation is one write target found in the closure body.
+type mutation struct {
+	node ast.Node // the assignment or inc/dec statement
+	pos  token.Pos
+	expr ast.Expr // the written expression
+}
+
+// checkSharedMutation reports writes to captured state outside a held
+// lock.
+func checkSharedMutation(pass *analysis.Pass, lit *ast.FuncLit) {
+	var muts []mutation
+	// Nested function literals are pruned: a nested spawned closure is its
+	// own spawn site, and a nested synchronous closure's writes are only
+	// observable through captured variables the pass sees when the
+	// enclosing statement assigns through them.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				muts = append(muts, mutation{node: n, pos: lhs.Pos(), expr: lhs})
+			}
+		case *ast.IncDecStmt:
+			muts = append(muts, mutation{node: n, pos: n.X.Pos(), expr: n.X})
+		}
+		return true
+	})
+	if len(muts) == 0 {
+		return
+	}
+
+	var held *heldLocks
+	for _, m := range muts {
+		target, ok := classifyTarget(pass, lit, m.expr)
+		if !ok {
+			continue
+		}
+		if held == nil {
+			held = newHeldLocks(pass.TypesInfo, lit.Body)
+		}
+		if held.at(m.node) {
+			continue
+		}
+		pass.Reportf(m.pos, "%s", target)
+	}
+}
+
+// classifyTarget decides whether writing expr races on captured state and
+// builds the diagnostic message.
+func classifyTarget(pass *analysis.Pass, lit *ast.FuncLit, expr ast.Expr) (string, bool) {
+	e := ast.Unparen(expr)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if !capturedVar(lit, obj) {
+			return "", false
+		}
+		return "goroutine assigns to captured variable " + x.Name +
+			"; writes from a goroutine race with the spawner — guard with a lock, use a channel, or make it goroutine-local", true
+	case *ast.SelectorExpr:
+		root, ok := rootIdentObj(pass, x)
+		if !ok || !capturedVar(lit, root) {
+			return "", false
+		}
+		return "goroutine writes field " + syncops.Render(x) +
+			" of captured state outside a held lock; guard the write or hand the result back over a channel", true
+	case *ast.StarExpr:
+		root, ok := rootIdentObj(pass, x)
+		if !ok || !capturedVar(lit, root) {
+			return "", false
+		}
+		return "goroutine writes through captured pointer " + syncops.Render(x.X) +
+			" outside a held lock; guard the write or hand the result back over a channel", true
+	case *ast.IndexExpr:
+		base := ast.Unparen(x.X)
+		root, ok := rootIdentObj(pass, base)
+		if !ok || !capturedVar(lit, root) {
+			return "", false
+		}
+		tv, ok := pass.TypesInfo.Types[base]
+		if !ok {
+			return "", false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			return "goroutine writes captured map " + syncops.Render(base) +
+				"; concurrent map writes fault regardless of key disjointness — guard with a lock or merge after Wait", true
+		case *types.Slice, *types.Array, *types.Pointer:
+			if goroutineLocalIndex(pass, lit, x.Index) {
+				// The sharded-accumulator idiom: disjoint indices owned by
+				// each worker.
+				return "", false
+			}
+			return "goroutine writes captured slice " + syncops.Render(base) +
+				" at an index that is not goroutine-local; disjointness cannot be established — derive the index from a closure parameter", true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// capturedVar reports whether obj is a variable declared outside lit.
+// Package-level variables count: they are shared by construction.
+func capturedVar(lit *ast.FuncLit, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// rootIdentObj resolves the leftmost identifier of a selector/index/star
+// chain.
+func rootIdentObj(pass *analysis.Pass, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			return obj, obj != nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// goroutineLocalIndex reports whether every identifier in the index
+// expression resolves to a variable declared inside lit (parameters
+// included), so distinct goroutines provably use their own index values.
+func goroutineLocalIndex(pass *analysis.Pass, lit *ast.FuncLit, idx ast.Expr) bool {
+	local := true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true // constants and functions cannot vary per goroutine either way
+		}
+		if capturedVar(lit, obj) {
+			local = false
+		}
+		return local
+	})
+	return local
+}
+
+// heldLocks is the forward must-held lock analysis over one closure body:
+// in[b] is the set of lock keys held on every path reaching block b. The
+// meet is set intersection; defer statements neither acquire nor release
+// (a deferred unlock runs at exit, after every body node).
+type heldLocks struct {
+	info *types.Info
+	g    *cfg.CFG
+	in   map[*cfg.Block]map[string]bool
+}
+
+func newHeldLocks(info *types.Info, body *ast.BlockStmt) *heldLocks {
+	h := &heldLocks{info: info, g: cfg.New(body), in: make(map[*cfg.Block]map[string]bool)}
+	h.solve()
+	return h
+}
+
+func (h *heldLocks) solve() {
+	rpo := h.g.ReversePostorder()
+	out := make(map[*cfg.Block]map[string]bool)
+	h.in[h.g.Entry] = map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			inSet := h.in[b]
+			if b != h.g.Entry {
+				inSet = nil
+				for _, p := range b.Preds {
+					po, ok := out[p]
+					if !ok {
+						continue
+					}
+					inSet = intersect(inSet, po)
+				}
+				if inSet == nil {
+					continue // no predecessor solved yet
+				}
+				h.in[b] = inSet
+			}
+			newOut := h.transfer(b, inSet)
+			if !equalSets(out[b], newOut) {
+				out[b] = newOut
+				changed = true
+			}
+		}
+	}
+}
+
+// transfer applies a block's lock and unlock operations to the held set.
+func (h *heldLocks) transfer(b *cfg.Block, in map[string]bool) map[string]bool {
+	set := copySet(in)
+	for _, n := range b.Nodes {
+		h.applyNode(n, set)
+	}
+	return set
+}
+
+func (h *heldLocks) applyNode(n ast.Node, set map[string]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	cfg.EachCall(n, func(call *ast.CallExpr) {
+		op, ok := syncops.Classify(h.info, call)
+		if !ok {
+			return
+		}
+		switch op.Kind {
+		case syncops.Lock, syncops.RLock:
+			set[op.Key] = true
+		case syncops.Unlock, syncops.RUnlock:
+			delete(set, op.Key)
+		}
+	})
+}
+
+// at reports whether at least one lock is held at the start of the given
+// block node on every path reaching it.
+func (h *heldLocks) at(stmt ast.Node) bool {
+	b, idx, ok := h.g.Find(stmt)
+	if !ok {
+		return false
+	}
+	inSet, ok := h.in[b]
+	if !ok {
+		return false // unreachable block: report rather than exempt
+	}
+	set := copySet(inSet)
+	for _, n := range b.Nodes[:idx] {
+		h.applyNode(n, set)
+	}
+	return len(set) > 0
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return copySet(b)
+	}
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if a == nil || len(a) != len(b) {
+		return a == nil && b == nil
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,19 @@
+package sharedcapture_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/sharedcapture"
+)
+
+func TestSharedCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedcapture.Analyzer(), "a")
+}
+
+// TestSharedCaptureScope proves the pass is scoped to procmine packages:
+// the capture-and-mutate shape that fires in fixture a is silent when the
+// package path falls outside internal/.
+func TestSharedCaptureScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", sharedcapture.Analyzer(), "b")
+}

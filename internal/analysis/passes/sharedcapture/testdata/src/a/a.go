@@ -1,0 +1,166 @@
+package a
+
+import "sync"
+
+func use(int)                {}
+func partial([]int, int) int { return 0 }
+
+type pool struct{}
+
+func (p *pool) Submit(f func()) { f() }
+
+// loopCapture reads the iteration variable from inside the goroutine
+// instead of passing it as an argument.
+func loopCapture(items []int) {
+	for i := range items {
+		go func() {
+			use(i) // want "goroutine closure captures loop variable i"
+		}()
+	}
+}
+
+// forLoopCapture is the three-clause variant.
+func forLoopCapture(n int) {
+	for j := 0; j < n; j++ {
+		go func() {
+			use(j) // want "goroutine closure captures loop variable j"
+		}()
+	}
+}
+
+// racyCounter mutates a captured accumulator with no lock. The shadowing
+// copy `it := it` is the sanctioned pre-1.22 idiom and must not be flagged
+// as a loop-variable capture.
+func racyCounter(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += it // want "goroutine assigns to captured variable total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// racyMap writes a captured map from multiple goroutines; the runtime
+// faults on concurrent map writes even at distinct keys.
+func racyMap(keys []string) map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k string) {
+			defer wg.Done()
+			m[k] = i // want "goroutine writes captured map m; concurrent map writes fault"
+		}(i, k)
+	}
+	wg.Wait()
+	return m
+}
+
+// nonLocalIndex indexes a captured slice with a captured cursor, so two
+// goroutines can collide on the same element.
+func nonLocalIndex(items []int) {
+	out := make([]int, len(items))
+	idx := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out[idx] = v // want "at an index that is not goroutine-local"
+			idx++        // want "goroutine assigns to captured variable idx"
+		}(it)
+	}
+	wg.Wait()
+}
+
+// sharded is the worker-private accumulator idiom from the parallel follows
+// scan: each goroutine writes only its own shard, indexed by a closure
+// parameter, so the writes are disjoint by construction.
+func sharded(items []int) int {
+	shards := make([]int, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shards[w] = partial(items, w)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range shards {
+		total += s
+	}
+	return total
+}
+
+// locked guards the shared write with a mutex held on every path to it.
+func locked(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+// channels hand results back instead of sharing memory — sends are not
+// assignments and must not be flagged.
+func channels(items []int) int {
+	ch := make(chan int, len(items))
+	for _, it := range items {
+		go func(v int) {
+			ch <- v * 2
+		}(it)
+	}
+	total := 0
+	for range items {
+		total += <-ch
+	}
+	return total
+}
+
+// viaPool covers worker-pool submission methods: the closure handed to
+// Submit runs asynchronously just like a go statement.
+func viaPool(p *pool, n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			count++ // want "goroutine assigns to captured variable count"
+		})
+	}
+	return count
+}
+
+// fieldWrite mutates a field of captured state without a lock.
+type stats struct{ n int }
+
+func fieldWrite(s *stats, done chan struct{}) {
+	go func() {
+		s.n = 1 // want "goroutine writes field s\\.n of captured state outside a held lock"
+		close(done)
+	}()
+}
+
+// suppressed documents a single-writer protocol the analysis cannot see.
+func suppressed(done *bool, ch chan struct{}) {
+	go func() {
+		//lint:ignore procmine/sharedcapture single writer; reader joins via ch before loading
+		*done = true
+		close(ch)
+	}()
+}

@@ -1,0 +1,14 @@
+package b
+
+// unscoped would be two findings in scope (loop-variable capture and an
+// unguarded captured write); package b's synthetic import path falls
+// outside the procmine scope predicate, so the pass must stay silent.
+func unscoped(items []int) int {
+	total := 0
+	for i := range items {
+		go func() {
+			total += i
+		}()
+	}
+	return total
+}

@@ -1,0 +1,86 @@
+package a
+
+import "sync"
+
+func work()                            {}
+func worker(wg *sync.WaitGroup, _ int) {}
+func consume(done chan struct{})       { <-done }
+
+// addInside raises the counter from the goroutine it is meant to cover, so
+// Wait can return before the work is counted.
+func addInside(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		go func() {
+			wg.Add(1) // want "wg\\.Add inside the goroutine it covers races with wg\\.Wait"
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// missedDone skips the decrement on the early-return path, hanging Wait.
+func missedDone(wg *sync.WaitGroup, fail bool) {
+	wg.Add(1)
+	go func() { // want "goroutine may return without calling wg\\.Done on some path"
+		if fail {
+			return
+		}
+		wg.Done()
+	}()
+}
+
+// forgotten spawns a goroutine right after Add that never touches the wait
+// group at all, so the counter can never drop.
+func forgotten(done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never references wg, so it cannot call wg\\.Done and the Wait will hang"
+		<-done
+	}()
+	wg.Wait()
+}
+
+// waitTooEarly calls Wait before any Add has happened.
+func waitTooEarly(n int) {
+	var wg sync.WaitGroup
+	wg.Wait() // want "wg\\.Wait\\(\\) can execute before the matching wg\\.Add"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg, i)
+	}
+	wg.Wait()
+}
+
+// clean is the canonical sharded-worker shape used by the parallel follows
+// scan: Add before go, deferred Done, Wait after the loop.
+func clean(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// passedExplicitly hands the wait group to the spawned function as an
+// argument — the Done lives in the callee, which is checked on its own.
+func passedExplicitly() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg, 0)
+	wg.Wait()
+}
+
+// suppressed documents an intentional wait-first protocol.
+func suppressed(wg *sync.WaitGroup) {
+	//lint:ignore procmine/wgprotocol drains a counter raised by the caller
+	wg.Wait()
+	wg.Add(1)
+}

@@ -1,0 +1,14 @@
+package b
+
+import "sync"
+
+// waitBeforeAdd would be a finding in scope; package b's synthetic import
+// path falls outside the procmine scope predicate, so the pass must stay
+// silent.
+func waitBeforeAdd(wg *sync.WaitGroup, f func()) {
+	wg.Wait()
+	wg.Add(1)
+	go func() {
+		f()
+	}()
+}

@@ -1,0 +1,253 @@
+// Package wgprotocol enforces the sync.WaitGroup protocol that the
+// parallel follows scan and the Algorithm 2 marking pass depend on
+// (internal/core/parallel.go, internal/core/dag.go): the counter must be
+// raised before the goroutine it covers starts, every covered goroutine
+// must decrement it on every path, and a Wait must not be able to execute
+// before the matching Add.
+//
+// Three rules, all over the control-flow graph:
+//
+//  1. wg.Add must not run inside the spawned goroutine. An Add that races
+//     with Wait can let Wait return before the work is counted — the
+//     classic silent-short-read bug that would surface as a
+//     nondeterministically truncated pair count in the sharded scan.
+//
+//  2. A goroutine the wait covers must call wg.Done on every path. Both
+//     halves are checked: a `go func(){...}` spawned right after wg.Add
+//     must reference the wait group at all, and a closure that does call
+//     Done must reach it on every CFG path of the closure body (use
+//     `defer wg.Done()` — a Done skipped on an early return or panic path
+//     hangs Wait forever).
+//
+//  3. No Wait may be reachable before the matching Add: if some path
+//     reaches a Wait without crossing an Add while an Add is still ahead,
+//     the Add-happens-before-Wait contract is broken on that path.
+package wgprotocol
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/cfg"
+	"procmine/internal/analysis/passes/internal/syncops"
+)
+
+// Analyzer returns the wgprotocol pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "wgprotocol",
+		Doc:  "enforces the WaitGroup Add-before-go, Done-on-all-paths, Add-happens-before-Wait protocol",
+		Run:  run,
+	}
+}
+
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/") || strings.HasPrefix(path, "procmine")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		cfg.Bodies(file, func(body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, b, i, gs)
+				continue
+			}
+			blk, idx := b, i
+			cfg.EachCall(n, func(call *ast.CallExpr) {
+				op, ok := syncops.Classify(pass.TypesInfo, call)
+				if ok && op.Kind == syncops.Wait {
+					checkWait(pass, g, blk, idx, op)
+				}
+			})
+		}
+	}
+}
+
+// checkGoStmt applies rules 1 and 2 to one go statement.
+func checkGoStmt(pass *analysis.Pass, b *cfg.Block, i int, gs *ast.GoStmt) {
+	lit, _ := gs.Call.Fun.(*ast.FuncLit)
+	if lit == nil {
+		// go f(...): the spawned body is another function, checked when
+		// its own package is analyzed.
+		return
+	}
+
+	// Rule 1: no Add on a captured wait group inside the goroutine. Nested
+	// go statements are pruned — they are their own spawn sites and get
+	// their own visit.
+	inGoroutine(lit.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		op, ok := syncops.Classify(pass.TypesInfo, call)
+		if !ok || op.Kind != syncops.Add || !capturedBy(lit, op.Root) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.Add inside the goroutine it covers races with %s.Wait; hoist the Add before the `go` statement",
+			syncops.Render(op.Recv), syncops.Render(op.Recv))
+	})
+
+	// Rule 2a: every Done the closure issues must be on all paths of the
+	// closure body.
+	inner := cfg.New(lit.Body)
+	seen := make(map[string]bool)
+	for _, ib := range inner.Blocks {
+		for _, n := range ib.Nodes {
+			cfg.EachCall(n, func(call *ast.CallExpr) {
+				op, ok := syncops.Classify(pass.TypesInfo, call)
+				if !ok || op.Kind != syncops.Done || !capturedBy(lit, op.Root) || seen[op.Key] {
+					return
+				}
+				seen[op.Key] = true
+				match := func(node ast.Node) bool {
+					return syncops.NodeHasOp(pass.TypesInfo, node, op.Key, syncops.Done)
+				}
+				if !inner.MustReach(inner.Entry, 0, match) {
+					pass.Reportf(lit.Pos(),
+						"goroutine may return without calling %s.Done on some path; `defer %s.Done()` at the top of the closure",
+						syncops.Render(op.Recv), syncops.Render(op.Recv))
+				}
+			})
+		}
+	}
+
+	// Rule 2b: a goroutine spawned immediately after wg.Add that never
+	// references the wait group cannot call Done, so the Wait hangs.
+	if i == 0 {
+		return
+	}
+	addOp, ok := classifiedCall(pass.TypesInfo, b.Nodes[i-1], syncops.Add)
+	if !ok {
+		return
+	}
+	if referencesObj(pass.TypesInfo, lit.Body, addOp.Root) || callPassesObj(pass.TypesInfo, gs.Call, addOp.Root) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine spawned after %s.Add never references %s, so it cannot call %s.Done and the Wait will hang",
+		syncops.Render(addOp.Recv), syncops.Render(addOp.Recv), syncops.Render(addOp.Recv))
+}
+
+// checkWait applies rule 3 to one Wait call at block b, node index i.
+func checkWait(pass *analysis.Pass, g *cfg.CFG, b *cfg.Block, i int, op syncops.Op) {
+	isThisWait := func(n ast.Node) bool {
+		found := false
+		cfg.EachCall(n, func(c *ast.CallExpr) {
+			if c == op.Call {
+				found = true
+			}
+		})
+		return found
+	}
+	isAdd := func(n ast.Node) bool {
+		return syncops.NodeHasOp(pass.TypesInfo, n, op.Key, syncops.Add)
+	}
+	// The violation needs both halves: a path to this Wait that crosses no
+	// Add, and an Add still ahead of the Wait. (A Wait with no later Add
+	// on a zero counter returns immediately and is legal.)
+	if g.MayReachWithout(g.Entry, 0, isThisWait, isAdd) && g.Reaches(b, i+1, isAdd) {
+		pass.Reportf(op.Call.Pos(),
+			"%s.Wait() can execute before the matching %s.Add on some path; Add must happen-before Wait",
+			syncops.Render(op.Recv), syncops.Render(op.Recv))
+	}
+}
+
+// inGoroutine walks the body of a spawned closure, pruning nested go
+// statements' function literals (each is its own spawn site).
+func inGoroutine(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := gs.Call.Fun.(*ast.FuncLit); isLit {
+				// Visit the spawn call's arguments but not the literal.
+				for _, arg := range gs.Call.Args {
+					inGoroutine(arg, fn)
+				}
+				return false
+			}
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// capturedBy reports whether obj is declared outside lit, i.e. the closure
+// captures it rather than owning it.
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// classifiedCall extracts a sync op of the wanted kind from a block node.
+func classifiedCall(info *types.Info, n ast.Node, want syncops.Kind) (syncops.Op, bool) {
+	var out syncops.Op
+	found := false
+	cfg.EachCall(n, func(call *ast.CallExpr) {
+		if found {
+			return
+		}
+		if op, ok := syncops.Classify(info, call); ok && op.Kind == want {
+			out, found = op, true
+		}
+	})
+	return out, found
+}
+
+// referencesObj reports whether the subtree uses obj anywhere, including
+// inside nested literals — any mention means the closure can reach the
+// wait group.
+func referencesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callPassesObj reports whether any argument of call references obj (the
+// wait group handed to the spawned function explicitly).
+func callPassesObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package wgprotocol_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/wgprotocol"
+)
+
+func TestWgProtocol(t *testing.T) {
+	analysistest.Run(t, "testdata", wgprotocol.Analyzer(), "a")
+}
+
+// TestWgProtocolScope proves the pass is scoped to procmine packages: the
+// wait-before-add shape that fires in fixture a is silent when the package
+// path falls outside internal/.
+func TestWgProtocolScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", wgprotocol.Analyzer(), "b")
+}
