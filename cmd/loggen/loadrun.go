@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"procmine"
+
+	"procmine/internal/wlog"
+)
+
+// Load-generator mode: instead of writing the generated log to a file,
+// stream it to a running procmined instance and report throughput and
+// latency percentiles. The sender is deliberately single-threaded and
+// paced — the point is a reproducible smoke/soak driver, not a stress
+// benchmark — and it never splits one execution across requests, matching
+// the service's emission contract.
+
+// loadStats accumulates one load run's outcome.
+type loadStats struct {
+	requests  int
+	ok        int
+	rejected  int // 429: shard backpressure
+	failed    int // any other non-2xx or transport error
+	events    int
+	execs     int
+	latencies []time.Duration
+}
+
+// percentile returns the p-th latency percentile (0 < p <= 100) of a
+// sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// report prints the run summary.
+func (st *loadStats) report(w io.Writer, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	_, _ = fmt.Fprintf(w, "loggen: sent %d executions (%d events) in %v: %.1f exec/s, %.1f events/s\n",
+		st.execs, st.events, elapsed.Round(time.Millisecond), float64(st.execs)/secs, float64(st.events)/secs)
+	_, _ = fmt.Fprintf(w, "loggen: %d requests: %d ok, %d rejected (429), %d failed\n",
+		st.requests, st.ok, st.rejected, st.failed)
+	sorted := append([]time.Duration(nil), st.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	_, _ = fmt.Fprintf(w, "loggen: latency p50=%v p95=%v p99=%v max=%v\n",
+		percentile(sorted, 50).Round(time.Microsecond),
+		percentile(sorted, 95).Round(time.Microsecond),
+		percentile(sorted, 99).Round(time.Microsecond),
+		percentile(sorted, 100).Round(time.Microsecond))
+}
+
+// reID clones an execution under a cycle-qualified ID so repeated passes
+// over the same log stay distinct process instances.
+func reID(e wlog.Execution, cycle int) wlog.Execution {
+	if cycle == 0 {
+		return e
+	}
+	out := e
+	out.ID = fmt.Sprintf("c%d_%s", cycle, e.ID)
+	return out
+}
+
+// runLoad streams the generated log to target's /ingest endpoint in
+// batches of whole executions, paced at rate executions per second
+// (0 = unthrottled), until the log is exhausted — or, when duration > 0,
+// cycling the log with fresh instance IDs until the duration elapses.
+func runLoad(target string, l *procmine.Log, rate float64, duration time.Duration, batch int, w io.Writer) error {
+	if batch <= 0 {
+		batch = 1
+	}
+	target = strings.TrimSuffix(target, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	st := &loadStats{}
+	start := time.Now()
+	next := start
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(batch) / rate * float64(time.Second))
+	}
+
+	for cycle := 0; ; cycle++ {
+		for i := 0; i < len(l.Executions); i += batch {
+			if duration > 0 && time.Since(start) >= duration {
+				st.report(w, time.Since(start))
+				return nil
+			}
+			if interval > 0 {
+				time.Sleep(time.Until(next))
+				next = next.Add(interval)
+			}
+			end := i + batch
+			if end > len(l.Executions) {
+				end = len(l.Executions)
+			}
+			var events []wlog.Event
+			for _, e := range l.Executions[i:end] {
+				events = append(events, (&wlog.Log{Executions: []wlog.Execution{reID(e, cycle)}}).Events()...)
+			}
+			var body strings.Builder
+			if err := wlog.WriteText(&body, events); err != nil {
+				return err
+			}
+			sent := time.Now()
+			resp, err := client.Post(target+"/ingest?format=text", "text/plain", strings.NewReader(body.String()))
+			st.requests++
+			if err != nil {
+				st.failed++
+				_, _ = fmt.Fprintf(w, "loggen: request failed: %v\n", err)
+				continue
+			}
+			st.latencies = append(st.latencies, time.Since(sent))
+			_, _ = io.Copy(io.Discard, resp.Body)
+			if err := resp.Body.Close(); err != nil {
+				return err
+			}
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				st.ok++
+				st.execs += end - i
+				st.events += len(events)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				st.rejected++
+			default:
+				st.failed++
+				_, _ = fmt.Fprintf(w, "loggen: request status %d\n", resp.StatusCode)
+			}
+		}
+		if duration <= 0 {
+			break
+		}
+	}
+	st.report(w, time.Since(start))
+	if st.failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", st.failed, st.requests)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"procmine/internal/serve"
+	"procmine/internal/wlog"
+)
+
+// TestRunLoadMode drives a real serve.Server through the loggen load
+// generator and checks every generated execution arrived intact.
+func TestRunLoadMode(t *testing.T) {
+	s, err := serve.New(serve.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if err := run([]string{"-source", "graph10", "-m", "12", "-batch", "3", "-target", ts.URL}); err != nil {
+		t.Fatalf("run -target: %v", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/model?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m serve.ModelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Executions != 12 {
+		t.Fatalf("server mined %d executions, want 12", m.Executions)
+	}
+}
+
+// TestRunLoadModeDuration checks the cycling path: with -duration set the
+// generator re-IDs executions per pass, so the server sees distinct
+// process instances.
+func TestRunLoadModeDuration(t *testing.T) {
+	s, err := serve.New(serve.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// 2 executions cycled for ~150ms at 100 exec/s: at least two passes.
+	if err := run([]string{"-source", "graph10", "-m", "2", "-target", ts.URL,
+		"-rate", "100", "-duration", "150ms"}); err != nil {
+		t.Fatalf("run -target -duration: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/model?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m serve.ModelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Executions <= 2 {
+		t.Fatalf("server mined %d executions, want > 2 (cycling never re-IDed)", m.Executions)
+	}
+}
+
+// TestRunLoadRejectsOutputArg checks the flag contract.
+func TestRunLoadRejectsOutputArg(t *testing.T) {
+	err := run([]string{"-source", "graph10", "-m", "2", "-target", "http://127.0.0.1:1", "out.txt"})
+	if err == nil || !strings.Contains(err.Error(), "no output file") {
+		t.Fatalf("err = %v, want output-file rejection", err)
+	}
+}
+
+// TestReID keeps cycle-qualified IDs distinct and cycle 0 untouched.
+func TestReID(t *testing.T) {
+	e := wlog.Execution{ID: "x1"}
+	if got := reID(e, 0).ID; got != "x1" {
+		t.Fatalf("cycle 0 re-IDed to %q", got)
+	}
+	if got := reID(e, 3).ID; got != "c3_x1" {
+		t.Fatalf("cycle 3 ID = %q, want c3_x1", got)
+	}
+}

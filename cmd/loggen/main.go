@@ -9,9 +9,12 @@
 //	loggen -source graph10 -m 100 OUT
 //	loggen -source flowmark -process StressSleep -m 160 OUT.csv
 //	loggen -source definition -definition process.json -m 200 OUT
+//	loggen -source random -m 500 -target http://127.0.0.1:9180 -rate 200 -duration 30s
 //
 // The output codec is inferred from the file extension; "-" writes text to
-// stdout.
+// stdout. With -target the log is streamed to a running procmined's
+// /ingest endpoint instead — paced by -rate, cycling for -duration — and a
+// throughput/latency-percentile summary is printed.
 package main
 
 import (
@@ -49,11 +52,20 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1998, "PRNG seed")
 		epsilon  = fs.Float64("epsilon", 0, "out-of-order noise rate (Section 6); 0 = clean log")
 		endBias  = fs.Float64("endbias", 0, "probability of terminating early when END is ready (random/graph10)")
+		target   = fs.String("target", "", "procmined base URL: stream the log to its /ingest endpoint instead of writing a file")
+		rate     = fs.Float64("rate", 0, "with -target: executions per second (0 = unthrottled)")
+		duration = fs.Duration("duration", 0, "with -target: keep cycling the log with fresh instance IDs for this long (0 = one pass)")
+		batch    = fs.Int("batch", 1, "with -target: executions per request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	if *target != "" {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return fmt.Errorf("-target takes no output file argument, got %d", fs.NArg())
+		}
+	} else if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("need exactly one output file argument (or -), got %d", fs.NArg())
 	}
@@ -130,6 +142,10 @@ func run(args []string) error {
 		c := noise.NewCorruptor(rng)
 		log = c.SwapAdjacent(log, *epsilon)
 		fmt.Fprintf(os.Stderr, "corrupted with epsilon=%v out-of-order noise\n", *epsilon)
+	}
+
+	if *target != "" {
+		return runLoad(*target, log, *rate, *duration, *batch, os.Stdout)
 	}
 
 	out := fs.Arg(0)

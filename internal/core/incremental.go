@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"procmine/internal/graph"
@@ -159,39 +159,5 @@ func (im *IncrementalMiner) addLabeled(exec wlog.Execution) {
 // gate this). Like the batch entry points it fails with ErrInvalidEpsilon
 // on an out-of-range AdaptiveEpsilon.
 func (im *IncrementalMiner) Mine(opt Options) (*graph.Digraph, error) {
-	im.init()
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
-	acts := make([]string, 0, len(im.activities))
-	for a := range im.activities {
-		acts = append(acts, a)
-	}
-	sort.Strings(acts)
-	pc := pairCounts{order: im.order, overlap: im.overlap, cooc: im.cooc}
-	g, err := assembleFollowsGraph(acts, pc, opt)
-	if err != nil {
-		return nil, err
-	}
-	g.RemoveIntraSCCEdges()
-
-	// Marking pass over the distinct activity sets, sharing the dependency
-	// graph's topological order and adjacency across reductions exactly
-	// like the batch marking pass.
-	sr, err := graph.NewSubsetReducer(g)
-	if err != nil {
-		return nil, fmt.Errorf("core: incremental marking: %w", err)
-	}
-	marked := make(map[graph.Edge]bool)
-	for _, set := range im.sigs {
-		for _, e := range sr.ReduceSubset(set) {
-			marked[e] = true
-		}
-	}
-	for _, e := range g.Edges() {
-		if !marked[e] {
-			g.RemoveEdge(e.From, e.To)
-		}
-	}
-	return MergeInstances(g), nil
+	return im.MineContext(context.Background(), opt)
 }

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"time"
+)
+
+// Per-shard quarantine circuit breaker. A shard whose ingest stream keeps
+// reporting bad records — structural damage, syntax garbage, watermark
+// evictions — is probably fed by a broken producer. Instead of letting a
+// FailFast shard turn every request into an error (or a Quarantine shard
+// burn memory tracking ever more set-aside executions), the breaker trips
+// once the error rate over a rolling window crosses a threshold and
+// degrades the shard to the Skip recovery policy: bad records are counted
+// and dropped, good records keep mining, the process stays up. After an
+// exponentially growing backoff the breaker half-opens and restores the
+// configured policy on probation; a clean probation closes it again, more
+// errors re-trip it with a doubled backoff.
+//
+// The breaker is not safe for concurrent use: every method is called with
+// the owning shard's mutex held.
+
+// BreakerConfig configures a shard's circuit breaker. The zero value
+// disables the breaker entirely (the shard always runs its configured
+// policy).
+type BreakerConfig struct {
+	// Window is the rolling sample window, in ingested records. The
+	// error-rate decision is made over at most this many recent records;
+	// <= 0 disables the breaker.
+	Window int
+
+	// TripRatio is the bad-record fraction of the window that trips the
+	// breaker. 0 means 0.5.
+	TripRatio float64
+
+	// MinSamples is the minimum number of records in the window before a
+	// trip decision is made, so one bad record out of one cannot trip a
+	// freshly reset window. 0 means half the window.
+	MinSamples int
+
+	// Backoff is the initial open duration after a trip; each consecutive
+	// re-trip doubles it up to MaxBackoff. 0 means 1s.
+	Backoff time.Duration
+
+	// MaxBackoff caps the exponential backoff. 0 means 60s.
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.TripRatio <= 0 {
+		c.TripRatio = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 60 * time.Second
+	}
+	return c
+}
+
+// breaker states.
+const (
+	breakerClosed   = "closed"    // normal operation, configured policy
+	breakerOpen     = "open"      // tripped: shard degraded to Skip
+	breakerHalfOpen = "half-open" // probing: configured policy on probation
+)
+
+// breaker is one shard's circuit breaker.
+type breaker struct {
+	cfg     BreakerConfig
+	enabled bool
+	state   string
+	good    int // window tallies
+	bad     int
+	backoff time.Duration // next open duration
+	until   time.Time     // open deadline
+	trips   int           // lifetime trip count
+}
+
+// newBreaker returns a closed breaker; a zero-window config disables it.
+func newBreaker(cfg BreakerConfig) *breaker {
+	enabled := cfg.Window > 0
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, enabled: enabled, state: breakerClosed, backoff: cfg.Backoff}
+}
+
+// degraded reports whether the shard must run in Skip mode right now, and
+// transitions open -> half-open once the backoff has elapsed.
+func (b *breaker) degraded(now time.Time) bool {
+	if !b.enabled {
+		return false
+	}
+	if b.state == breakerOpen && !now.Before(b.until) {
+		b.state = breakerHalfOpen
+		b.good, b.bad = 0, 0
+	}
+	return b.state == breakerOpen
+}
+
+// observe feeds one ingest batch's outcome (records processed, bad records
+// among them) into the window and applies the trip/reset transitions.
+func (b *breaker) observe(records, bad int, now time.Time) {
+	if !b.enabled || records <= 0 {
+		return
+	}
+	if bad > records {
+		bad = records
+	}
+	b.good += records - bad
+	b.bad += bad
+	total := b.good + b.bad
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		if total >= b.cfg.MinSamples && float64(b.bad) >= b.cfg.TripRatio*float64(total) && b.bad > 0 {
+			b.trip(now)
+			return
+		}
+		if b.state == breakerHalfOpen && total >= b.cfg.MinSamples && b.bad == 0 {
+			// Clean probation: close and forgive the backoff escalation.
+			b.state = breakerClosed
+			b.backoff = b.cfg.Backoff
+			b.good, b.bad = 0, 0
+			return
+		}
+	}
+	if total >= b.cfg.Window {
+		// Tumble the window so old traffic stops diluting the rate.
+		b.good, b.bad = 0, 0
+	}
+}
+
+// trip opens the breaker and doubles the next backoff.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.until = now.Add(b.backoff)
+	b.trips++
+	b.good, b.bad = 0, 0
+	b.backoff *= 2
+	if b.backoff > b.cfg.MaxBackoff {
+		b.backoff = b.cfg.MaxBackoff
+	}
+}
+
+// BreakerStatus is the externally visible breaker state, served by /stats.
+type BreakerStatus struct {
+	State string `json:"state"`
+	Trips int    `json:"trips"`
+	// RetryMS is how long the breaker stays open from "now", in
+	// milliseconds; 0 unless open.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+}
+
+// status snapshots the breaker for reporting.
+func (b *breaker) status(now time.Time) BreakerStatus {
+	if !b.enabled {
+		return BreakerStatus{State: "disabled"}
+	}
+	st := BreakerStatus{State: b.state, Trips: b.trips}
+	if b.state == breakerOpen {
+		if d := b.until.Sub(now); d > 0 {
+			st.RetryMS = d.Milliseconds()
+		}
+	}
+	return st
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sort"
+
+	"procmine/internal/wlog"
+)
+
+// ReportTotals is the additive, JSON-friendly projection of one or more
+// wlog.IngestReports. The server keeps one for the decode (intake) stage and
+// derives one per shard for the stream stage; their sum equals the single
+// report a file-based StreamTextWith + ExecutionStream pipeline would have
+// produced over the same records, which is what the chaos tests pin.
+type ReportTotals struct {
+	RecordsRead           int            `json:"records_read"`
+	EventsDecoded         int            `json:"events_decoded"`
+	RecordsSkipped        int            `json:"records_skipped,omitempty"`
+	StepsDropped          int            `json:"steps_dropped,omitempty"`
+	ExecutionsQuarantined int            `json:"executions_quarantined,omitempty"`
+	QuarantinedIDs        []string       `json:"quarantined_ids,omitempty"`
+	Errors                map[string]int `json:"errors,omitempty"`
+}
+
+// totalsOf projects one report.
+func totalsOf(rep *wlog.IngestReport) ReportTotals {
+	t := ReportTotals{
+		RecordsRead:           rep.RecordsRead,
+		EventsDecoded:         rep.EventsDecoded,
+		RecordsSkipped:        rep.RecordsSkipped,
+		StepsDropped:          rep.StepsDropped,
+		ExecutionsQuarantined: rep.ExecutionsQuarantined,
+	}
+	if len(rep.QuarantinedIDs) > 0 {
+		t.QuarantinedIDs = append([]string(nil), rep.QuarantinedIDs...)
+	}
+	if len(rep.Errors) > 0 {
+		t.Errors = make(map[string]int, len(rep.Errors))
+		for c, n := range rep.Errors {
+			t.Errors[string(c)] = n
+		}
+	}
+	return t
+}
+
+// add accumulates other into t.
+func (t *ReportTotals) add(other ReportTotals) {
+	t.RecordsRead += other.RecordsRead
+	t.EventsDecoded += other.EventsDecoded
+	t.RecordsSkipped += other.RecordsSkipped
+	t.StepsDropped += other.StepsDropped
+	t.ExecutionsQuarantined += other.ExecutionsQuarantined
+	if len(other.QuarantinedIDs) > 0 {
+		t.QuarantinedIDs = append(t.QuarantinedIDs, other.QuarantinedIDs...)
+		sort.Strings(t.QuarantinedIDs)
+	}
+	if len(other.Errors) > 0 && t.Errors == nil {
+		t.Errors = make(map[string]int, len(other.Errors))
+	}
+	for c, n := range other.Errors {
+		t.Errors[c] += n
+	}
+}

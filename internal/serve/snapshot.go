@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"procmine/internal/core"
+	"procmine/internal/wlog"
+)
+
+// ShardSnapshotSchema versions the on-disk shard checkpoint format. Loading
+// rejects any other schema string instead of guessing.
+const ShardSnapshotSchema = "procmined-shard-snapshot/v1"
+
+// ErrSnapshotIntegrity reports a checkpoint whose recorded model digest does
+// not match the model mined from its own state — a torn, corrupted, or
+// hand-edited file.
+var ErrSnapshotIntegrity = errors.New("serve: snapshot failed integrity check")
+
+// shardSnapshot is one shard's durable checkpoint: the additive miner state,
+// the in-flight open executions, and a self-check digest. Shards records the
+// topology so a restart with a different shard count fails loudly instead of
+// mis-partitioning.
+type shardSnapshot struct {
+	Schema     string `json:"schema"`
+	Shard      int    `json:"shard"`
+	Shards     int    `json:"shards"`
+	Executions int    `json:"executions"`
+	// ModelSHA256 is the hex sha256 of the DOT rendering of mining the
+	// snapshotted miner state with zero options. Restore re-mines and
+	// compares; the miner's determinism turns the digest into an
+	// end-to-end integrity oracle rather than a mere byte checksum.
+	ModelSHA256 string               `json:"model_sha256"`
+	Miner       *core.MinerSnapshot  `json:"miner"`
+	Open        []wlog.OpenExecution `json:"open,omitempty"`
+}
+
+// modelDigest mines a snapshot's state with zero options and hashes the
+// canonical DOT rendering.
+func modelDigest(s *core.MinerSnapshot) (string, error) {
+	im := core.NewIncrementalMiner()
+	if err := im.RestoreSnapshot(s); err != nil {
+		return "", err
+	}
+	g, err := im.Mine(core.Options{})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(g.Dot("snapshot")))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// snapshotter persists shard checkpoints under one directory, one file per
+// shard, written atomically (temp file + fsync + rename) so a crash mid-write
+// leaves the previous checkpoint intact.
+type snapshotter struct {
+	dir string
+}
+
+// newSnapshotter ensures the snapshot directory exists. An empty dir
+// disables persistence.
+func newSnapshotter(dir string) (*snapshotter, error) {
+	if dir == "" {
+		return &snapshotter{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	return &snapshotter{dir: dir}, nil
+}
+
+func (sn *snapshotter) enabled() bool { return sn.dir != "" }
+
+func (sn *snapshotter) path(shard int) string {
+	return filepath.Join(sn.dir, fmt.Sprintf("shard-%04d.snap.json", shard))
+}
+
+// save checkpoints one shard atomically.
+func (sn *snapshotter) save(shard, shards int, miner *core.MinerSnapshot, open []wlog.OpenExecution) error {
+	if !sn.enabled() {
+		return nil
+	}
+	digest, err := modelDigest(miner)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot shard %d: digest: %w", shard, err)
+	}
+	snap := shardSnapshot{
+		Schema:      ShardSnapshotSchema,
+		Shard:       shard,
+		Shards:      shards,
+		Executions:  miner.Executions,
+		ModelSHA256: digest,
+		Miner:       miner,
+		Open:        open,
+	}
+	f, err := os.CreateTemp(sn.dir, fmt.Sprintf(".shard-%04d-*.tmp", shard))
+	if err != nil {
+		return fmt.Errorf("serve: snapshot shard %d: %w", shard, err)
+	}
+	tmp := f.Name()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err == nil {
+		err = f.Sync()
+	} else {
+		// Keep the first failure; the file is doomed either way.
+		_ = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("serve: snapshot shard %d: write: %w", shard, err)
+	}
+	if err := os.Rename(tmp, sn.path(shard)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("serve: snapshot shard %d: publish: %w", shard, err)
+	}
+	return nil
+}
+
+// load reads and verifies one shard's checkpoint. A missing file returns
+// (nil, nil): the shard simply starts empty.
+func (sn *snapshotter) load(shard, shards int) (*shardSnapshot, error) {
+	if !sn.enabled() {
+		return nil, nil
+	}
+	data, err := os.ReadFile(sn.path(shard))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore shard %d: %w", shard, err)
+	}
+	var snap shardSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("serve: restore shard %d: decode: %w", shard, err)
+	}
+	if snap.Schema != ShardSnapshotSchema {
+		return nil, fmt.Errorf("serve: restore shard %d: schema %q, want %q", shard, snap.Schema, ShardSnapshotSchema)
+	}
+	if snap.Shard != shard || snap.Shards != shards {
+		return nil, fmt.Errorf("serve: restore shard %d: checkpoint is for shard %d of %d, want shard %d of %d",
+			shard, snap.Shard, snap.Shards, shard, shards)
+	}
+	if snap.Miner == nil {
+		return nil, fmt.Errorf("serve: restore shard %d: checkpoint has no miner state", shard)
+	}
+	if err := snap.Miner.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: restore shard %d: %w", shard, err)
+	}
+	digest, err := modelDigest(snap.Miner)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore shard %d: digest: %w", shard, err)
+	}
+	if digest != snap.ModelSHA256 {
+		return nil, fmt.Errorf("serve: restore shard %d: %w: model digest %s, recorded %s",
+			shard, ErrSnapshotIntegrity, digest, snap.ModelSHA256)
+	}
+	return &snap, nil
+}

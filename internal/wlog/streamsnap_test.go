@@ -1,0 +1,134 @@
+package wlog
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pushSeq pushes START/END pairs for a sequence of activities, leaving the
+// last n activities' ENDs unsent.
+func pushSeq(t *testing.T, s *ExecutionStream, id string, acts []string, openTail int) {
+	t.Helper()
+	base := time.Unix(0, 1000).UTC()
+	for i, a := range acts {
+		st := base.Add(time.Duration(2*i) * time.Millisecond)
+		if err := s.Push(Event{ProcessID: id, Activity: a, Type: Start, Time: st}); err != nil {
+			t.Fatalf("Push START %s/%s: %v", id, a, err)
+		}
+		if i < len(acts)-openTail {
+			en := st.Add(time.Millisecond)
+			if err := s.Push(Event{ProcessID: id, Activity: a, Type: End, Time: en, Output: Output{i}}); err != nil {
+				t.Fatalf("Push END %s/%s: %v", id, a, err)
+			}
+		}
+	}
+}
+
+// TestStreamSnapshotRestoreRoundTrip checks that open executions survive a
+// SnapshotOpen/RestoreOpen cycle exactly: completing them in the restored
+// stream emits the same executions the uninterrupted stream would emit.
+func TestStreamSnapshotRestoreRoundTrip(t *testing.T) {
+	var gotA, gotB []Execution
+	a := NewExecutionStream(func(e Execution) error { gotA = append(gotA, e); return nil })
+	b := NewExecutionStream(func(e Execution) error { gotB = append(gotB, e); return nil })
+
+	pushSeq(t, a, "p1", []string{"X", "Y", "Z"}, 1) // Z still open
+	pushSeq(t, a, "p2", []string{"U", "V"}, 2)      // U, V open
+
+	snap := a.SnapshotOpen()
+	if len(snap) != 2 || snap[0].ID != "p1" || snap[1].ID != "p2" {
+		t.Fatalf("SnapshotOpen = %+v, want p1, p2", snap)
+	}
+	if !a.IsOpen("p1") || a.IsOpen("p9") {
+		t.Fatal("IsOpen wrong")
+	}
+
+	if err := b.RestoreOpen(snap); err != nil {
+		t.Fatalf("RestoreOpen: %v", err)
+	}
+	if b.OpenExecutions() != 2 {
+		t.Fatalf("restored stream holds %d open executions, want 2", b.OpenExecutions())
+	}
+
+	// Finish the executions identically on both streams and compare emissions.
+	finish := func(s *ExecutionStream) {
+		base := time.Unix(1, 0).UTC()
+		for i, ev := range []Event{
+			{ProcessID: "p1", Activity: "Z", Type: End},
+			{ProcessID: "p2", Activity: "U", Type: End},
+			{ProcessID: "p2", Activity: "V", Type: End},
+		} {
+			ev.Time = base.Add(time.Duration(i) * time.Millisecond)
+			if err := s.Push(ev); err != nil {
+				t.Fatalf("finishing Push: %v", err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	finish(a)
+	finish(b)
+	if !reflect.DeepEqual(gotA, gotB) {
+		t.Errorf("restored stream emitted %+v, uninterrupted stream %+v", gotB, gotA)
+	}
+}
+
+// TestStreamRestoreOpenConflict checks that restoring over an already-open
+// execution fails instead of silently merging state.
+func TestStreamRestoreOpenConflict(t *testing.T) {
+	s := NewExecutionStream(func(Execution) error { return nil })
+	pushSeq(t, s, "p1", []string{"A"}, 1)
+	if err := s.RestoreOpen([]OpenExecution{{ID: "p1"}}); err == nil {
+		t.Fatal("restore over open execution accepted")
+	}
+}
+
+// TestStreamRestorePreservesStaleness checks that the MaxOpenExecutions
+// eviction order respects LastSeq across a restore: the execution that was
+// stalest before the snapshot is evicted first after it.
+func TestStreamRestorePreservesStaleness(t *testing.T) {
+	var emitted []Execution
+	a := NewExecutionStreamWith(IngestOptions{Policy: Skip, MaxOpenExecutions: 2}, nil,
+		func(e Execution) error { emitted = append(emitted, e); return nil })
+	pushSeq(t, a, "old", []string{"A"}, 1)
+	pushSeq(t, a, "new", []string{"B"}, 1)
+
+	b := NewExecutionStreamWith(IngestOptions{Policy: Skip, MaxOpenExecutions: 2}, nil,
+		func(e Execution) error { emitted = append(emitted, e); return nil })
+	if err := b.RestoreOpen(a.SnapshotOpen()); err != nil {
+		t.Fatal(err)
+	}
+	// A third execution forces an eviction; "old" must be the victim.
+	if err := b.Push(Event{ProcessID: "third", Activity: "C", Type: Start, Time: time.Unix(1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsOpen("old") || !b.IsOpen("new") || !b.IsOpen("third") {
+		t.Fatalf("eviction after restore chose the wrong victim (old open=%v new open=%v)",
+			b.IsOpen("old"), b.IsOpen("new"))
+	}
+	if got := b.Report().QuarantinedIDs; len(got) != 1 || got[0] != "old" {
+		t.Fatalf("quarantined %v, want [old]", got)
+	}
+}
+
+// TestStreamSetPolicy checks the live policy switch: a structural fault is
+// fatal under FailFast, absorbed after degrading to Skip.
+func TestStreamSetPolicy(t *testing.T) {
+	s := NewExecutionStream(func(Execution) error { return nil })
+	if s.Policy() != FailFast {
+		t.Fatalf("default policy = %v", s.Policy())
+	}
+	bad := Event{ProcessID: "p", Activity: "A", Type: End, Time: time.Unix(1, 0)}
+	if err := s.Push(bad); err == nil {
+		t.Fatal("FailFast accepted END without START")
+	}
+	s.SetPolicy(Skip)
+	if err := s.Push(bad); err != nil {
+		t.Fatalf("Skip rejected END without START: %v", err)
+	}
+	if s.Report().Errors[ClassStructure] != 1 {
+		t.Fatalf("skip did not record the structural error: %+v", s.Report().Errors)
+	}
+}
