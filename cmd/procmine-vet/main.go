@@ -1,14 +1,17 @@
-// Command procmine-vet runs the procmine static-analysis suite: the seven
+// Command procmine-vet runs the procmine static-analysis suite: the ten
 // go/analysis-style passes that mechanically enforce the invariants the
 // paper's conformality and determinism guarantees rest on (see DESIGN.md,
-// "Static analysis invariants").
+// "Static analysis invariants"), including the three interprocedural
+// passes built on the module call graph (lockheldblocking, ctxleak,
+// hotalloc).
 //
 // Standalone, over package patterns:
 //
 //	procmine-vet ./...
 //
 // Or as a vet tool, one package at a time under cmd/go's unit-checker
-// protocol:
+// protocol (function summaries cross package boundaries through vetx facts
+// files):
 //
 //	go vet -vettool=$(which procmine-vet) ./...
 //
@@ -17,9 +20,18 @@
 //	procmine-vet -baseline write BASELINE.json ./...   # accept the status quo
 //	procmine-vet -baseline check BASELINE.json ./...   # fail on new findings
 //
+// Check mode also warns about stale baseline entries — accepted findings
+// the tree no longer produces — so a fixed finding prompts a regenerate
+// rather than silently re-admitting its regression.
+//
 // With -json, standalone findings (and -baseline check regressions) are
 // emitted as a JSON array of {file, line, pass, message} objects for CI
-// annotation tooling.
+// annotation tooling. Adding -timing changes the JSON shape to an object
+// {"findings": [...], "timing": {...}} carrying per-pass wall time and
+// diagnostic counts; without -json, -timing prints the table to stderr.
+// -graph FILE writes the module call graph as Graphviz DOT ("-" for
+// stdout); unresolved call edges carry kind="unresolved", which CI greps to
+// keep the service layer fully analyzable.
 //
 // Exit status: 0 when clean, 1 when any pass reports a finding (or any
 // non-baselined finding under -baseline check), 2 when loading or
@@ -40,10 +52,14 @@ import (
 
 	"procmine/internal/analysis"
 	"procmine/internal/analysis/baseline"
+	"procmine/internal/analysis/callgraph"
 	"procmine/internal/analysis/driver"
 	"procmine/internal/analysis/passes/ctxflow"
+	"procmine/internal/analysis/passes/ctxleak"
 	"procmine/internal/analysis/passes/errlost"
+	"procmine/internal/analysis/passes/hotalloc"
 	"procmine/internal/analysis/passes/lockbalance"
+	"procmine/internal/analysis/passes/lockheldblocking"
 	"procmine/internal/analysis/passes/mapiterorder"
 	"procmine/internal/analysis/passes/noglobals"
 	"procmine/internal/analysis/passes/sharedcapture"
@@ -51,12 +67,16 @@ import (
 	"procmine/internal/analysis/vetcfg"
 )
 
-// suite returns the full pass list.
+// suite returns the full pass list: seven intra-function passes and the
+// three interprocedural ones built on the call-graph summaries.
 func suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer(),
+		ctxleak.Analyzer(),
 		errlost.Analyzer(),
+		hotalloc.Analyzer(),
 		lockbalance.Analyzer(),
+		lockheldblocking.Analyzer(),
 		mapiterorder.Analyzer(),
 		noglobals.Analyzer(),
 		sharedcapture.Analyzer(),
@@ -82,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "describe flags as JSON and exit (cmd/go vet-tool protocol)")
 	baselineFlag := fs.String("baseline", "", "baseline mode: 'write' records current findings to the baseline file, 'check' fails only on findings the baseline does not accept")
+	timingFlag := fs.Bool("timing", false, "report per-pass wall time and diagnostic counts (table on stderr, or embedded in -json output)")
+	graphFlag := fs.String("graph", "", "write the module call graph as Graphviz DOT to this file ('-' for stdout)")
 	fs.Usage = func() {
 		say(stderr, "usage: procmine-vet [packages] | procmine-vet -baseline write|check [FILE.json] [packages] | procmine-vet <unit>.cfg\n")
 		fs.PrintDefaults()
@@ -118,12 +140,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 0 {
 		rest = []string{"."}
 	}
-	findings, err := driver.Run(rest, suite())
+	res, err := driver.RunWithStats(rest, suite())
 	if err != nil {
 		say(stderr, "procmine-vet: %v\n", err)
 		return 2
 	}
+	findings := res.Findings
 	wd, _ := os.Getwd()
+
+	if *graphFlag != "" {
+		if err := writeGraph(res.Graph, *graphFlag, stdout); err != nil {
+			say(stderr, "procmine-vet: %v\n", err)
+			return 2
+		}
+	}
 
 	switch *baselineFlag {
 	case "write":
@@ -139,27 +169,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			say(stderr, "procmine-vet: %v\n", err)
 			return 2
 		}
-		fresh := baseline.Diff(base, wd, findings)
-		if len(fresh) == 0 {
-			return 0
+		// Stale entries — accepted findings the tree no longer produces —
+		// are a warning, not a failure: the baseline still gates correctly,
+		// but it would silently re-admit a regression of the fixed finding
+		// until regenerated.
+		for _, e := range baseline.Stale(base, wd, findings) {
+			say(stderr, "procmine-vet: stale baseline entry: %s no longer produces %d × %s %q; regenerate with -baseline write\n",
+				e.File, e.Count, e.Pass, e.Message)
 		}
+		fresh := baseline.Diff(base, wd, findings)
 		regressed := baseline.Select(fresh, wd, findings)
-		say(stderr, "procmine-vet: %d finding(s) not accepted by %s\n", len(regressed), baselinePath)
-		return emit(stdout, stderr, wd, regressed, *jsonFlag)
+		if len(regressed) > 0 {
+			say(stderr, "procmine-vet: %d finding(s) not accepted by %s\n", len(regressed), baselinePath)
+		}
+		return emit(stdout, stderr, wd, regressed, *jsonFlag, *timingFlag, res.Stats)
 	}
 
-	if len(findings) == 0 {
-		return 0
-	}
-	return emit(stdout, stderr, wd, findings, *jsonFlag)
+	return emit(stdout, stderr, wd, findings, *jsonFlag, *timingFlag, res.Stats)
 }
 
-// emit prints findings in the requested format and returns the finding
-// exit status.
-func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON bool) int {
+// emit prints findings (and, when asked, the timing breakdown) in the
+// requested format and returns the exit status: 0 clean, 1 with findings.
+func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON, timing bool, stats driver.Stats) int {
+	status := 0
+	if len(findings) > 0 {
+		status = 1
+	}
 	if !asJSON {
 		driver.Format(stdout, wd, findings)
-		return 1
+		if timing {
+			printTiming(stderr, stats)
+		}
+		return status
 	}
 	type jsonFinding struct {
 		File    string `json:"file"`
@@ -180,13 +221,46 @@ func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON
 			Message: f.Message,
 		})
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	// Without -timing the shape stays a bare array for existing tooling;
+	// with it, findings and the per-pass breakdown ride in one object.
+	var payload any = out
+	if timing {
+		payload = struct {
+			Findings any          `json:"findings"`
+			Timing   driver.Stats `json:"timing"`
+		}{Findings: out, Timing: stats}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		say(stderr, "procmine-vet: %v\n", err)
 		return 2
 	}
 	say(stdout, "%s\n", data)
-	return 1
+	return status
+}
+
+// printTiming renders the per-pass table, slowest pass visible at a glance.
+func printTiming(w io.Writer, stats driver.Stats) {
+	say(w, "procmine-vet: timing over %d package(s):\n", stats.Packages)
+	for _, p := range stats.Passes {
+		say(w, "  %-18s %9.1fms  %d finding(s)\n", p.Pass, p.Millis, p.Findings)
+	}
+}
+
+// writeGraph dumps the call graph as DOT to path ("-" for stdout).
+func writeGraph(g *callgraph.Graph, path string, stdout io.Writer) error {
+	if path == "-" {
+		return g.WriteDOT(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := g.WriteDOT(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // printFlags implements the cmd/go -flags handshake: before running a vet

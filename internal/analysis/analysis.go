@@ -50,6 +50,13 @@ type Pass struct {
 	// synthetic packages have paths like "a" that would otherwise fall
 	// outside the internal/-based scoping rules.
 	ForceScope bool
+	// Facts carries interprocedural context when the driver computed one:
+	// a *callgraph.Graph with summaries for this package's functions (and,
+	// in module-wide runs, every module function). It is declared as any to
+	// keep this package free of the callgraph dependency; passes that need
+	// it type-assert and treat a nil or missing graph as "no
+	// interprocedural information", reporting nothing rather than guessing.
+	Facts any
 
 	diagnostics []Diagnostic
 }

@@ -35,6 +35,7 @@ import (
 	"testing"
 
 	"procmine/internal/analysis"
+	"procmine/internal/analysis/callgraph"
 )
 
 // Run applies a to each fixture package under dir/src and reports
@@ -91,12 +92,18 @@ func runPackage(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer, forc
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
 	}
+	// Every fixture run gets an interprocedural view of itself, exactly as
+	// the real driver provides one, so the graph-consuming passes are
+	// testable with the same harness as the intra-function ones.
+	g := callgraph.Build(fset, []callgraph.Package{{Files: files, Pkg: tpkg, Info: info}})
+	g.ComputeSummaries()
 	pass := &analysis.Pass{
 		Fset:       fset,
 		Files:      files,
 		Pkg:        tpkg,
 		TypesInfo:  info,
 		ForceScope: forceScope,
+		Facts:      g,
 	}
 	diags, err := analysis.Run(a, pass)
 	if err != nil {

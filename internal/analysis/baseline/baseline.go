@@ -41,6 +41,24 @@ type Entry struct {
 type File struct {
 	Schema   string  `json:"schema"`
 	Findings []Entry `json:"findings"`
+	// Summary totals the accepted findings per pass. It is derived from
+	// Findings on write and validated on load, so a hand-edited baseline
+	// whose entries and totals disagree is rejected rather than silently
+	// trusted; reviewers get the per-pass magnitude without summing entries
+	// by hand.
+	Summary map[string]int `json:"summary,omitempty"`
+}
+
+// computeSummary derives the per-pass totals from the entry list.
+func computeSummary(entries []Entry) map[string]int {
+	if len(entries) == 0 {
+		return nil
+	}
+	sum := make(map[string]int)
+	for _, e := range entries {
+		sum[e.Pass] += e.Count
+	}
+	return sum
 }
 
 // key is the line-insensitive identity of a finding.
@@ -82,6 +100,7 @@ func FromFindings(dir string, findings []driver.Finding) *File {
 		}
 		return a.Message < b.Message
 	})
+	out.Summary = computeSummary(out.Findings)
 	return out
 }
 
@@ -110,6 +129,30 @@ func Load(path string) (*File, error) {
 	}
 	if f.Schema != Schema {
 		return nil, fmt.Errorf("baseline %s has schema %q, want %q (regenerate with -baseline write)", path, f.Schema, Schema)
+	}
+	// Duplicate keys would make counts ambiguous (which entry wins?); a
+	// baseline is only ever machine-written, so duplicates mean a bad merge.
+	seen := make(map[key]bool, len(f.Findings))
+	for _, e := range f.Findings {
+		k := key{e.File, e.Pass, e.Message}
+		if seen[k] {
+			return nil, fmt.Errorf("baseline %s has duplicate entry for %s %s %q (bad merge? regenerate with -baseline write)", path, e.File, e.Pass, e.Message)
+		}
+		seen[k] = true
+	}
+	// A present summary must agree with the entries.
+	if f.Summary != nil {
+		want := computeSummary(f.Findings)
+		for pass, n := range f.Summary {
+			if want[pass] != n {
+				return nil, fmt.Errorf("baseline %s summary says %d %s findings but entries total %d (regenerate with -baseline write)", path, n, pass, want[pass])
+			}
+		}
+		for pass, n := range want {
+			if _, ok := f.Summary[pass]; !ok {
+				return nil, fmt.Errorf("baseline %s summary is missing pass %s (%d findings; regenerate with -baseline write)", path, pass, n)
+			}
+		}
 	}
 	return &f, nil
 }
@@ -150,4 +193,45 @@ func Diff(base *File, dir string, current []driver.Finding) []Entry {
 		}
 	}
 	return out
+}
+
+// Stale returns the baseline entries the current findings no longer
+// justify: keys absent from the tree, or counts above what the tree
+// carries; the returned entries hold the unjustified surplus. A stale entry
+// means someone fixed a baselined finding without regenerating — the
+// baseline would silently re-admit a regression of that exact finding, so
+// `-baseline check` reports the surplus as a warning.
+func Stale(base *File, dir string, current []driver.Finding) []Entry {
+	have := make(map[key]int)
+	for _, f := range current {
+		have[key{normalize(dir, f.Pos.Filename), f.Analyzer, f.Message}]++
+	}
+	var out []Entry
+	for _, e := range base.Findings {
+		if surplus := e.Count - have[key{e.File, e.Pass, e.Message}]; surplus > 0 {
+			e.Count = surplus
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Acceptor returns a stateful filter over the baseline: each call reports
+// whether the finding is accepted, decrementing that key's remaining
+// budget, so N baselined instances admit exactly N findings and the N+1st
+// is rejected. The vettool adapter uses it where per-package findings
+// stream through one at a time and a whole-run Diff is not possible.
+func Acceptor(base *File, dir string) func(file, pass, message string) bool {
+	remaining := make(map[key]int, len(base.Findings))
+	for _, e := range base.Findings {
+		remaining[key{e.File, e.Pass, e.Message}] += e.Count
+	}
+	return func(file, pass, message string) bool {
+		k := key{normalize(dir, file), pass, message}
+		if remaining[k] <= 0 {
+			return false
+		}
+		remaining[k]--
+		return true
+	}
 }

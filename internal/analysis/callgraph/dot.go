@@ -1,0 +1,70 @@
+package callgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form, deterministically:
+// nodes sorted by key, each node's out-edges deduplicated and sorted by
+// (callee, kind). Every edge carries a kind attribute, so CI can gate on
+// unresolved edges with a plain grep for `kind="unresolved"`; nodes whose
+// summary says MayBlock are drawn shaded, and //procmine:hot roots get a
+// bold border, which makes the dump a usable debugging view and not just a
+// gate input.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontsize=10];\n")
+	for _, k := range g.Keys {
+		fn := g.Functions[k]
+		attrs := []string{fmt.Sprintf("label=%q", DisplayKey(k))}
+		if fn.Summary.MayBlock {
+			attrs = append(attrs, `style=filled`, `fillcolor=lightyellow`)
+		}
+		if fn.Hot {
+			attrs = append(attrs, `penwidth=2`)
+		}
+		fmt.Fprintf(&b, "\t%q [%s];\n", k, strings.Join(attrs, ", "))
+	}
+	type edge struct {
+		callee string
+		kind   EdgeKind
+	}
+	for _, k := range g.Keys {
+		fn := g.Functions[k]
+		seen := make(map[edge]bool)
+		var edges []edge
+		for _, c := range fn.Calls {
+			e := edge{callee: c.Callee, kind: c.Kind}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].callee != edges[j].callee {
+				return edges[i].callee < edges[j].callee
+			}
+			return edges[i].kind < edges[j].kind
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&b, "\t%q -> %q [kind=%q", k, e.callee, e.kind.String())
+			switch e.kind {
+			case EdgeUnresolved:
+				b.WriteString(`, style=dashed, color=red`)
+			case EdgeInterface:
+				b.WriteString(`, style=dashed`)
+			case EdgeExternal:
+				b.WriteString(`, color=gray`)
+			}
+			b.WriteString("];\n")
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

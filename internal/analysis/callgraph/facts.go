@@ -1,0 +1,69 @@
+package callgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FactsSchema versions the serialized summary format. Vetx files carrying a
+// different schema are ignored (treated as absent), which degrades to the
+// conservative no-effect default rather than failing the build.
+const FactsSchema = "procmine-vet-facts/v1"
+
+// factsFile is the on-disk form: one package's function summaries, keyed
+// like Graph.Functions, written sorted for byte-stable output.
+type factsFile struct {
+	Schema    string             `json:"schema"`
+	Package   string             `json:"package"`
+	Summaries map[string]Summary `json:"summaries"`
+}
+
+// ExportFacts writes the summaries of every function declared in pkgPath to
+// path, in the vetx facts format. In vettool mode cmd/go hands each
+// dependency's facts file back when analyzing an importer, so summaries
+// cross package boundaries without re-typechecking the world.
+func (g *Graph) ExportFacts(path, pkgPath string) error {
+	ff := factsFile{
+		Schema:    FactsSchema,
+		Package:   pkgPath,
+		Summaries: make(map[string]Summary),
+	}
+	for _, k := range g.Keys {
+		fn := g.Functions[k]
+		if fn.PkgPath == pkgPath {
+			ff.Summaries[k] = fn.Summary
+		}
+	}
+	data, err := json.MarshalIndent(ff, "", "\t")
+	if err != nil {
+		return fmt.Errorf("callgraph: marshal facts: %w", err)
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o666)
+}
+
+// ImportFacts merges a dependency's facts file into g.Imported, so
+// ComputeSummaries and the passes see cross-package effects. Unreadable,
+// empty, or schema-mismatched files are skipped silently: a missing
+// summary is the conservative default, and vetx files from other analyzers
+// (or empty placeholders) are expected in the protocol.
+func (g *Graph) ImportFacts(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return
+	}
+	var ff factsFile
+	if json.Unmarshal(data, &ff) != nil || ff.Schema != FactsSchema {
+		return
+	}
+	keys := make([]string, 0, len(ff.Summaries))
+	for k := range ff.Summaries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g.Imported[k] = ff.Summaries[k]
+	}
+}

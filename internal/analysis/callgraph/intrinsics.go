@@ -1,0 +1,98 @@
+package callgraph
+
+import "strings"
+
+// intrinsicEffect classifies a non-static callee by name: a curated table
+// of standard-library functions whose blocking behavior the summaries must
+// know about, because the source is outside the analyzed set. Everything
+// not listed defaults to the zero Summary — no effect — which is the
+// conservative direction for every pass built on the graph (an unknown
+// callee can never manufacture a finding).
+//
+// The table is deliberately narrow. fmt and log are excluded even though
+// they perform I/O: treating every Printf as blocking would make MayBlock
+// true for nearly the whole module and drown the passes in noise. The
+// entries here are the operations that park a goroutine for unbounded or
+// scheduled time — network and file I/O, sleeps, synchronization waits —
+// which is the behavior lockheldblocking and ctxleak exist to keep out of
+// critical sections. Mutex Lock/Unlock are also excluded: the lock passes
+// model them as region brackets, and classifying Lock as blocking would
+// reduce lockheldblocking to "no nested locking", a different property.
+func intrinsicEffect(callee string) Summary {
+	if isBlockingIntrinsic(callee) {
+		return Summary{MayBlock: true, BlockWitness: "calls " + DisplayKey(callee)}
+	}
+	return Summary{}
+}
+
+// isBlockingIntrinsic reports whether the callee key (FuncKey form) names a
+// known-blocking standard-library operation.
+func isBlockingIntrinsic(callee string) bool {
+	// The entire net/http surface — client calls, handler-side body
+	// plumbing, server helpers — blocks per the mayBlock definition.
+	if strings.HasPrefix(callee, "net/http.") || strings.HasPrefix(callee, "(net/http.") {
+		return true
+	}
+	switch callee {
+	// Scheduled time.
+	case "time.Sleep":
+		return true
+
+	// Synchronization waits.
+	case "(sync.WaitGroup).Wait",
+		"(sync.Cond).Wait":
+		return true
+
+	// File I/O on concrete files and the os helpers around them.
+	case "(os.File).Read",
+		"(os.File).ReadAt",
+		"(os.File).Write",
+		"(os.File).WriteAt",
+		"(os.File).Sync",
+		"os.ReadFile",
+		"os.WriteFile",
+		"os.Open",
+		"os.Create",
+		"os.OpenFile",
+		"os.Rename",
+		"os.Remove",
+		"os.RemoveAll",
+		"os.MkdirAll",
+		"os.ReadDir",
+		"os.Stat",
+		"(os.Process).Wait",
+		"(os/exec.Cmd).Run",
+		"(os/exec.Cmd).Wait",
+		"(os/exec.Cmd).Output",
+		"(os/exec.Cmd).CombinedOutput":
+		return true
+
+	// Interface I/O: calls through these interface methods resolve to the
+	// interface method object, so the keys below match EdgeInterface
+	// calls. io.Reader/Writer cover the bufio/net/http body plumbing the
+	// service layer uses.
+	case "(io.Reader).Read",
+		"(io.Writer).Write",
+		"(io.Closer).Close",
+		"(io.ReadCloser).Read",
+		"(io.ReadCloser).Close",
+		"(io.WriteCloser).Write",
+		"(io.WriteCloser).Close",
+		"(io.ReadWriter).Read",
+		"(io.ReadWriter).Write",
+		"io.Copy",
+		"io.CopyN",
+		"io.ReadAll":
+		return true
+
+	// Network I/O.
+	case "(net.Conn).Read",
+		"(net.Conn).Write",
+		"(net.Listener).Accept",
+		"net.Dial",
+		"net.DialTimeout",
+		"net.Listen":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package golden exercises every resolution rule and summary fact of the
+// callgraph package; callgraph_test.go asserts the graph it produces.
+package golden
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func leaf() int { return 1 }
+
+// Box carries a method so Caller's method call resolves by declared
+// receiver type (pointer stripped).
+type Box struct{ v int }
+
+func (b *Box) Get() int { return b.v }
+
+// Caller makes a direct call and a method call; neither blocks.
+func Caller() int {
+	b := &Box{} //lint:ignore procmine fixture allocation, not under test here
+	return leaf() + b.Get()
+}
+
+// LitHolder's literal call is attached to LitHolder, flagged FromLit.
+func LitHolder() int {
+	f := func() int { return leaf() }
+	return f()
+}
+
+// Doer is the interface whose dynamic call Dynamic makes.
+type Doer interface{ Do() }
+
+// NamedFn is a named function type; calls through it attribute to the name.
+type NamedFn func()
+
+// Dynamic makes one interface call, one plain func-value call (unresolved),
+// and one named-func-type call (attributed external).
+func Dynamic(d Doer, f func(), n NamedFn) {
+	d.Do()
+	f()
+	n()
+}
+
+// Sleeper blocks via the time.Sleep intrinsic.
+func Sleeper() { time.Sleep(time.Millisecond) }
+
+// ViaSleep blocks only transitively.
+func ViaSleep() { Sleeper() }
+
+// ChanUser blocks on channel operations.
+func ChanUser(ch chan int) int {
+	ch <- 1
+	return <-ch
+}
+
+// Spawner detaches blocking work onto another goroutine: the spawn itself
+// must not block, but the literal's allocation still counts.
+func Spawner(ch chan int) {
+	go func() {
+		buf := make([]int, 8)
+		ch <- len(buf)
+	}()
+}
+
+// Even/Odd: pure mutual recursion, no blocking, fixpoint must converge.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// RecBlockA/RecBlockB: a recursive pair where one member blocks locally;
+// both must summarize MayBlock.
+func RecBlockA(n int) {
+	if n > 0 {
+		RecBlockB(n - 1)
+	}
+}
+
+func RecBlockB(n int) {
+	time.Sleep(time.Millisecond)
+	if n > 0 {
+		RecBlockA(n - 1)
+	}
+}
+
+// AllocLoop allocates inside its loop.
+//
+//procmine:hot is NOT this comment — the directive must be alone on a line.
+func AllocLoop(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// AllocIndirect calls an allocating callee from inside a loop.
+func AllocIndirect(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(AllocOnce())
+	}
+	return total
+}
+
+// AllocOnce allocates, but not in a loop.
+func AllocOnce() []int { return make([]int, 4) }
+
+// Guarded exercises the receiver-relative lock effect.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockHalf net-acquires recv.mu.
+func (g *Guarded) lockHalf() { g.mu.Lock() }
+
+// balanced locks and unlocks; no net effect.
+func (g *Guarded) balanced() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// blockWithCtx is a ctx-taking blocking callee.
+func blockWithCtx(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// WithCtxGood threads its ctx to the blocking callee.
+func WithCtxGood(ctx context.Context) { blockWithCtx(ctx) }
+
+// WithCtxBad receives a ctx but reaches a blocking callee without one.
+func WithCtxBad(ctx context.Context) {
+	_ = ctx
+	Sleeper()
+}
+
+// HotRoot roots the hot path: AllocLoop is hot-reachable through it.
+//
+//procmine:hot
+func HotRoot(n int) []int { return AllocLoop(n) }

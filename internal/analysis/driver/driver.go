@@ -25,8 +25,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"procmine/internal/analysis"
+	"procmine/internal/analysis/callgraph"
 )
 
 // Finding is one analyzer diagnostic resolved to a file position.
@@ -56,11 +58,55 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
+// PassTiming is one pass's aggregate cost over a run.
+type PassTiming struct {
+	// Pass names the analyzer ("callgraph" for the shared graph+summary
+	// construction that precedes the passes).
+	Pass string `json:"pass"`
+	// Millis is wall time summed across all analyzed packages.
+	Millis float64 `json:"millis"`
+	// Findings counts surviving diagnostics.
+	Findings int `json:"findings"`
+}
+
+// Stats describes where a run spent its time.
+type Stats struct {
+	// Packages is the number of target packages analyzed.
+	Packages int `json:"packages"`
+	// Passes holds one entry per analyzer plus the "callgraph" row, in
+	// suite order.
+	Passes []PassTiming `json:"passes"`
+}
+
+// Result is everything a RunWithStats invocation produced.
+type Result struct {
+	// Findings are the surviving diagnostics sorted by position.
+	Findings []Finding
+	// Stats is the per-pass timing/count breakdown.
+	Stats Stats
+	// Graph is the module-wide call graph with computed summaries,
+	// available for the -graph dump and the unresolved-edge gate.
+	Graph *callgraph.Graph
+}
+
 // Run loads the packages matched by patterns, applies every analyzer to
 // each, and returns the surviving findings sorted by position. It returns
 // an error if loading or type-checking fails; analyzers themselves
 // reporting findings is not an error.
 func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	res, err := RunWithStats(patterns, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunWithStats is Run plus per-pass timing and the shared call graph. The
+// run is two-phase: every target package is parsed and type-checked first,
+// then one module-wide call graph is built over all of them and its
+// summaries computed, and only then do the analyzers run — each pass sees
+// the whole module's interprocedural facts regardless of package order.
+func RunWithStats(patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
 	targets, exports, err := load(patterns)
 	if err != nil {
 		return nil, err
@@ -75,7 +121,14 @@ func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	}
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	var findings []Finding
+	// Phase 1: parse and type-check every target.
+	type unit struct {
+		lp    listPackage
+		files []*ast.File
+		pkg   *types.Package
+		info  *types.Info
+	}
+	var units []unit
 	for _, lp := range targets {
 		files, err := parseFiles(fset, lp)
 		if err != nil {
@@ -92,17 +145,39 @@ func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
 		}
+		units = append(units, unit{lp: lp, files: files, pkg: pkg, info: info})
+	}
+
+	// Phase 2: one call graph over everything loaded.
+	graphStart := time.Now()
+	cgPkgs := make([]callgraph.Package, len(units))
+	for i, u := range units {
+		cgPkgs[i] = callgraph.Package{Files: u.files, Pkg: u.pkg, Info: u.info}
+	}
+	g := callgraph.Build(fset, cgPkgs)
+	g.ComputeSummaries()
+	graphElapsed := time.Since(graphStart)
+
+	// Phase 3: the passes, with aggregate per-pass timing.
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	counts := make(map[string]int, len(analyzers))
+	var findings []Finding
+	for _, u := range units {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Fset:      fset,
-				Files:     files,
-				Pkg:       pkg,
-				TypesInfo: info,
+				Files:     u.files,
+				Pkg:       u.pkg,
+				TypesInfo: u.info,
+				Facts:     g,
 			}
+			start := time.Now()
 			diags, err := analysis.Run(a, pass)
+			elapsed[a.Name] += time.Since(start)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+				return nil, fmt.Errorf("%s: %w", u.lp.ImportPath, err)
 			}
+			counts[a.Name] += len(diags)
 			for _, d := range diags {
 				findings = append(findings, Finding{
 					Analyzer: d.Analyzer,
@@ -122,7 +197,20 @@ func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+
+	stats := Stats{Packages: len(units)}
+	stats.Passes = append(stats.Passes, PassTiming{
+		Pass:   "callgraph",
+		Millis: float64(graphElapsed.Microseconds()) / 1000,
+	})
+	for _, a := range analyzers {
+		stats.Passes = append(stats.Passes, PassTiming{
+			Pass:     a.Name,
+			Millis:   float64(elapsed[a.Name].Microseconds()) / 1000,
+			Findings: counts[a.Name],
+		})
+	}
+	return &Result{Findings: findings, Stats: stats, Graph: g}, nil
 }
 
 // load invokes `go list -export -deps -json` and splits the result into the

@@ -1,0 +1,85 @@
+// Package ctxleak is the interprocedural upgrade of ctxflow: a function
+// that receives a context.Context must not reach a mayBlock callee through
+// a call chain that drops the context. The intra-function pass can insist a
+// ctx parameter is mentioned; only the callgraph summaries can see that
+// handleModel(ctx) calls mineNow() calls scan() which parks on a channel,
+// with the request's cancellation signal left two frames up — the shape
+// that makes RequestTimeout a no-op.
+//
+// The rule, per call site in a ctx-taking function: a direct (non-deferred,
+// non-detached, non-literal) call to a callee that may block, made without
+// passing any context value, is a finding. If the callee accepts a context
+// the type system forces the caller to pass one (Background() at a call
+// site is visible in review; a dropped parameter is not). Deferred calls
+// are cleanup and run after the handler's work; detached calls block a
+// goroutine that the spawner is expected to manage explicitly; literals
+// capture ctx lexically and their calls are judged against the literal's
+// own use.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/callgraph"
+)
+
+// Analyzer returns the ctxleak pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxleak",
+		Doc:  "requires ctx-receiving functions to pass a context to every mayBlock callee",
+		Run:  run,
+	}
+}
+
+// inScope covers the whole module: context discipline is the paper
+// pipeline's cancellation story (DESIGN.md §9), not a service-layer nicety.
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/") || strings.HasPrefix(path, "procmine")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	g, ok := pass.Facts.(*callgraph.Graph)
+	if !ok || g == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fn := g.Lookup(obj)
+			if fn == nil || !fn.TakesCtx {
+				continue
+			}
+			for _, c := range fn.Calls {
+				if c.FromLit || c.Detached || c.Deferred || c.PassesCtx {
+					continue
+				}
+				if !g.CallMayBlock(c) {
+					continue
+				}
+				why := g.SummaryOf(c).BlockWitness
+				if why == "" {
+					why = "may block"
+				}
+				pass.Reportf(c.Pos,
+					"ctx is dropped at this call: %s may block (%s) but receives no context; thread ctx through so cancellation reaches the blocking work",
+					callgraph.DisplayKey(c.Callee), why)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/ctxleak"
+)
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxleak.Analyzer(), "a")
+}
+
+// TestCtxLeakScope proves the module scoping exempts out-of-scope packages.
+func TestCtxLeakScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", ctxleak.Analyzer(), "b")
+}

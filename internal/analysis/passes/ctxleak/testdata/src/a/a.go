@@ -1,0 +1,79 @@
+// Fixture a: ctx-receiving functions reaching blocking callees. The
+// handler/miner/scanner chain mirrors the serve -> core shape where the
+// request context must reach the scan loops.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// scan blocks: it parks on a channel with no way to hear cancellation.
+func scan(ch chan int) int {
+	return <-ch
+}
+
+// scanCtx blocks but takes the context, so it can select on Done.
+func scanCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// mineNow drops nothing — it never had a ctx — but blocks transitively.
+func mineNow(ch chan int) int {
+	return scan(ch)
+}
+
+// HandleBad receives the request ctx and drops it before the blocking
+// chain.
+func HandleBad(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return mineNow(ch) // want "ctx is dropped at this call: a.mineNow may block"
+}
+
+// HandleGood threads the ctx to a ctx-aware callee.
+func HandleGood(ctx context.Context, ch chan int) int {
+	return scanCtx(ctx, ch)
+}
+
+// HandleSleep drops ctx before a blocking intrinsic.
+func HandleSleep(ctx context.Context) {
+	<-ctx.Done()
+	time.Sleep(time.Millisecond) // want "ctx is dropped at this call: time.Sleep may block"
+}
+
+// HandleNonBlocking calls only non-blocking helpers; nothing to thread.
+func HandleNonBlocking(ctx context.Context) int {
+	_ = ctx
+	return pure(2)
+}
+
+func pure(n int) int { return n * n }
+
+// HandleDeferred: deferred cleanup is not a leak.
+func HandleDeferred(ctx context.Context, ch chan int) {
+	defer mineNow(ch)
+	<-ctx.Done()
+}
+
+// HandleDetached: the spawner manages the goroutine explicitly.
+func HandleDetached(ctx context.Context, ch chan int) {
+	go mineNow(ch)
+	<-ctx.Done()
+}
+
+// HandleSuppressed documents why the blocking call may ignore ctx.
+func HandleSuppressed(ctx context.Context, ch chan int) int {
+	_ = ctx
+	//lint:ignore procmine/ctxleak drain is bounded by the channel close, not by ctx
+	return mineNow(ch)
+}
+
+// NoCtx has no context; the pass does not apply.
+func NoCtx(ch chan int) int {
+	return mineNow(ch)
+}

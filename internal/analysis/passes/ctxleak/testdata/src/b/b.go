@@ -1,0 +1,11 @@
+// Fixture b: the same dropped-context chain as fixture a, out of scope.
+package b
+
+import "context"
+
+func scan(ch chan int) int { return <-ch }
+
+func Handle(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return scan(ch)
+}

@@ -1,0 +1,18 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer(), "a")
+}
+
+// TestHotAllocScope proves the scoping exempts out-of-scope packages even
+// when they carry the annotation.
+func TestHotAllocScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", hotalloc.Analyzer(), "b")
+}

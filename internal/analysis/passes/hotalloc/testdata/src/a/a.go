@@ -1,0 +1,85 @@
+// Fixture a: allocation discipline on the //procmine:hot path. Scan mirrors
+// the dense follows-relation loop; the helpers show the reachability and
+// the call-side amplification rules.
+package a
+
+// Scan is a hot root: the per-step loop must not allocate.
+//
+//procmine:hot
+func Scan(steps []int) []int {
+	var ids []int
+	for _, s := range steps {
+		ids = append(ids, s) // want "append allocates in a loop on the //procmine:hot path"
+	}
+	return ids
+}
+
+// ScanAll roots a chain: Mark is hot by reachability, and the in-loop call
+// to it allocates once per trail.
+//
+//procmine:hot
+func ScanAll(trails [][]int) int {
+	total := 0
+	for _, t := range trails {
+		total += Mark(t) // want "call to a.Mark allocates, and this call sits in a loop"
+	}
+	return total
+}
+
+// Mark allocates outside any loop of its own; reached from ScanAll's loop,
+// the call side reports, not these sites.
+func Mark(steps []int) int {
+	seen := make(map[int]bool)
+	for _, s := range steps {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+// mkPair allocates once, outside any loop: clean on its own.
+func mkPair() []int { return make([]int, 2) }
+
+// Amplify calls the loop-free allocator from inside a hot loop; the call
+// site is the finding.
+//
+//procmine:hot
+func Amplify(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(mkPair()) // want "call to a.mkPair allocates, and this call sits in a loop"
+	}
+	return total
+}
+
+// Hoisted allocates before the loop: the discipline the pass asks for.
+//
+//procmine:hot
+func Hoisted(steps []int) []int {
+	ids := make([]int, 0, len(steps))
+	for _, s := range steps {
+		ids = ids[:len(ids)+1]
+		ids[len(ids)-1] = s
+	}
+	return ids
+}
+
+// Cold allocates in a loop but is unreachable from any hot root.
+func Cold(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Suppressed documents an accepted in-loop allocation.
+//
+//procmine:hot
+func Suppressed(steps []int) []int {
+	var ids []int
+	for _, s := range steps {
+		//lint:ignore procmine/hotalloc amortized growth accepted until the columnar refactor
+		ids = append(ids, s)
+	}
+	return ids
+}

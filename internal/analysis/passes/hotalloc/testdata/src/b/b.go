@@ -1,0 +1,12 @@
+// Fixture b: a hot-annotated in-loop allocator, out of scope. RunUnscoped
+// must report nothing even though the annotation is present.
+package b
+
+//procmine:hot
+func Scan(steps []int) []int {
+	var ids []int
+	for _, s := range steps {
+		ids = append(ids, s)
+	}
+	return ids
+}

@@ -20,7 +20,7 @@ import (
 
 	"procmine/internal/analysis"
 	"procmine/internal/analysis/cfg"
-	"procmine/internal/analysis/passes/internal/syncops"
+	"procmine/internal/analysis/internal/syncops"
 )
 
 // Analyzer returns the lockbalance pass.

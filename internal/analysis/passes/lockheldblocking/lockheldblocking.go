@@ -1,0 +1,219 @@
+// Package lockheldblocking forbids call paths from a Lock-held region to a
+// function that may block, before the matching unlock. The shard mutex in
+// internal/serve serializes ingest against snapshotting; a blocking call —
+// channel operation, file or network I/O, time.Sleep, a sync Wait —
+// executed while that mutex is held stalls every other request routed to
+// the shard, which is precisely the regression the always-on service must
+// never pick up. The interprocedural reach comes from the callgraph
+// summaries: a call to a helper that blocks three frames down is flagged at
+// the call site, with the chain named in the message.
+//
+// Semantics:
+//
+//   - The held region runs from a Lock/RLock to the matching non-deferred
+//     Unlock/RUnlock on the same canonical receiver key. A deferred unlock
+//     does NOT end the region — it extends it to function exit, so blocking
+//     calls after `defer mu.Unlock()` are inside the region (that is what
+//     makes the ingest shape checkable at all).
+//   - A call to a module function whose summary releases the held mutex
+//     through its receiver ("recv.mu") also ends the region, so
+//     lock-helper idioms do not false-positive.
+//   - Deferred and go-detached calls inside the region are not findings:
+//     deferred calls run at exit ordering the analysis cannot see, and
+//     detached calls block another goroutine.
+//   - A call whose callee net-acquires the held mutex again is reported as
+//     a self-deadlock, the degenerate case of blocking forever.
+package lockheldblocking
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/callgraph"
+	"procmine/internal/analysis/cfg"
+	"procmine/internal/analysis/internal/syncops"
+)
+
+// Analyzer returns the lockheldblocking pass.
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockheldblocking",
+		Doc:  "forbids call paths from a Lock-held region to a mayBlock function before the matching unlock",
+		Run:  run,
+	}
+}
+
+// inScope: the serve and core layers, where a stalled mutex stalls the
+// service. The other packages hold locks only in tests or not at all, and
+// widening the scope is a one-line change once they do.
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/serve") || strings.Contains(path, "internal/core")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	g, ok := pass.Facts.(*callgraph.Graph)
+	if !ok || g == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			fn := g.Lookup(obj)
+			if fn == nil {
+				continue
+			}
+			checkFunc(pass, g, fn, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function, fd *ast.FuncDecl) {
+	// Index the graph's call records by site, so CFG-discovered call
+	// expressions map back to their resolution and flags.
+	rec := make(map[*ast.CallExpr]callgraph.Call, len(fn.Calls))
+	for _, c := range fn.Calls {
+		rec[c.Site] = c
+	}
+
+	cg := cfg.New(fd.Body)
+	for _, b := range cg.Blocks {
+		for i, n := range b.Nodes {
+			// An acquisition inside a defer or go statement executes
+			// elsewhere; it does not open a region at this program point.
+			if skipNode(n) {
+				continue
+			}
+			blk, idx := b, i
+			cfg.EachCall(n, func(call *ast.CallExpr) {
+				op, ok := syncops.Classify(pass.TypesInfo, call)
+				if !ok || (op.Kind != syncops.Lock && op.Kind != syncops.RLock) {
+					return
+				}
+				checkRegion(pass, g, fn, rec, cg, blk, idx, op)
+			})
+		}
+	}
+}
+
+func skipNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return true
+	}
+	return false
+}
+
+// checkRegion reports every blocking call reachable from the acquisition at
+// (b, i) before a region-ending unlock.
+func checkRegion(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function, rec map[*ast.CallExpr]callgraph.Call, cg *cfg.CFG, b *cfg.Block, i int, op syncops.Op) {
+	want := syncops.Unlock
+	if op.Kind == syncops.RLock {
+		want = syncops.RUnlock
+	}
+
+	// barrier: a node that releases the held mutex on this goroutine, now.
+	// Deferred unlocks are explicitly NOT barriers — they keep the region
+	// open to function exit.
+	barrier := func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		ends := false
+		cfg.EachCall(n, func(call *ast.CallExpr) {
+			if ends {
+				return
+			}
+			if o, ok := syncops.Classify(pass.TypesInfo, call); ok && o.Key == op.Key && o.Kind == want {
+				ends = true
+				return
+			}
+			// A helper whose summary net-releases the mutex through its
+			// receiver ends the region too.
+			if c, ok := rec[call]; ok && releasesHeld(g, c, op.Key) {
+				ends = true
+			}
+		})
+		return ends
+	}
+
+	// Walk the function's call records and test each blocking candidate for
+	// region membership, so the diagnostic lands on the exact call.
+	for _, c := range fn.Calls {
+		if c.FromLit || c.Detached || c.Deferred {
+			continue
+		}
+		deadlock := acquiresHeld(g, c, op.Key)
+		if !deadlock && !g.CallMayBlock(c) {
+			continue
+		}
+		// Never flag the region's own sync operations.
+		if o, ok := syncops.Classify(pass.TypesInfo, c.Site); ok && o.Key == op.Key {
+			continue
+		}
+		tb, ti, ok := cg.Find(c.Site)
+		if !ok {
+			continue
+		}
+		node := tb.Nodes[ti]
+		if skipNode(node) {
+			continue
+		}
+		target := func(n ast.Node) bool { return n == node }
+		if !cg.MayReachWithout(b, i+1, target, barrier) {
+			continue
+		}
+		held := syncops.Render(op.Recv)
+		if deadlock {
+			pass.Reportf(c.Pos,
+				"call to %s acquires %s, which is already held here: self-deadlock",
+				callgraph.DisplayKey(c.Callee), held)
+			continue
+		}
+		why := g.SummaryOf(c).BlockWitness
+		if why == "" {
+			why = "may block"
+		}
+		pass.Reportf(c.Pos,
+			"call to %s may block while %s is held (%s); release %s first, or move the blocking work outside the critical section",
+			callgraph.DisplayKey(c.Callee), held, why, held)
+	}
+}
+
+// releasesHeld reports whether c's callee net-releases the mutex identified
+// by heldKey through its receiver: the callee's summary lists a
+// receiver-relative release path whose root, substituted with the call's
+// receiver key, equals the held key.
+func releasesHeld(g *callgraph.Graph, c callgraph.Call, heldKey string) bool {
+	return summaryTouches(g.SummaryOf(c).Releases, c.RecvKey, heldKey)
+}
+
+// acquiresHeld is the acquisition-side counterpart of releasesHeld.
+func acquiresHeld(g *callgraph.Graph, c callgraph.Call, heldKey string) bool {
+	return summaryTouches(g.SummaryOf(c).Acquires, c.RecvKey, heldKey)
+}
+
+func summaryTouches(paths []string, recvKey, heldKey string) bool {
+	if recvKey == "" {
+		return false
+	}
+	for _, p := range paths {
+		if rest, ok := strings.CutPrefix(p, "recv"); ok && recvKey+rest == heldKey {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package lockheldblocking_test
+
+import (
+	"testing"
+
+	"procmine/internal/analysis/analysistest"
+	"procmine/internal/analysis/passes/lockheldblocking"
+)
+
+func TestLockHeldBlocking(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheldblocking.Analyzer(), "a")
+}
+
+// TestLockHeldBlockingScope proves the serve/core scoping: the seeded
+// ingest-shape regression in fixture b is silent outside the scoped
+// packages.
+func TestLockHeldBlockingScope(t *testing.T) {
+	analysistest.RunUnscoped(t, "testdata", lockheldblocking.Analyzer(), "b")
+}

@@ -1,0 +1,122 @@
+// Fixture a: blocking calls inside Lock-held regions. The shard type copies
+// the PR 5 ingest shape — mutex-guarded shard state, lock with deferred
+// unlock, then per-event work — with a blocking flush seeded inside the
+// critical section, which is exactly the regression the pass exists to
+// catch.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	n    int
+	path string
+}
+
+// ingest is the ingest shape: the deferred unlock keeps the mutex held to
+// function exit, so the flush call inside is a held-region blocking call.
+func (sh *shard) ingest(events []int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for range events {
+		sh.n++
+	}
+	sh.flush() // want "call to \\(a.shard\\).flush may block while sh.mu is held"
+}
+
+// flush blocks on file I/O, two frames away from the lock.
+func (sh *shard) flush() {
+	sh.write()
+}
+
+func (sh *shard) write() {
+	_ = os.WriteFile(sh.path, nil, 0o666)
+}
+
+// direct intrinsic under the lock.
+func (sh *shard) napUnder() {
+	sh.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep may block while sh.mu is held"
+	sh.mu.Unlock()
+}
+
+// releasedFirst unlocks before blocking: clean.
+func (sh *shard) releasedFirst() {
+	sh.mu.Lock()
+	sh.n++
+	sh.mu.Unlock()
+	sh.flush()
+}
+
+// branchLeak releases on one branch only; the other reaches the blocking
+// call with the mutex held.
+func (sh *shard) branchLeak(fast bool) {
+	sh.mu.Lock()
+	if fast {
+		sh.mu.Unlock()
+	}
+	sh.flush() // want "call to \\(a.shard\\).flush may block while sh.mu is held"
+}
+
+// readLockHeld: RLock regions are regions too.
+func (sh *shard) readLockHeld() {
+	sh.rw.RLock()
+	defer sh.rw.RUnlock()
+	sh.flush() // want "call to \\(a.shard\\).flush may block while sh.rw is held"
+}
+
+// unlockNow is a release helper: its summary net-releases recv.mu.
+func (sh *shard) unlockNow() {
+	sh.mu.Unlock()
+}
+
+// helperRelease ends the region through the helper, so the flush after it
+// is clean.
+func (sh *shard) helperRelease() {
+	sh.mu.Lock()
+	sh.n++
+	sh.unlockNow()
+	sh.flush()
+}
+
+// lockedIncr net-acquires recv.mu.
+func (sh *shard) lockedIncr() {
+	sh.mu.Lock()
+	sh.n++
+}
+
+// reacquire calls a helper that locks the already-held mutex.
+func (sh *shard) reacquire() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lockedIncr() // want "acquires sh.mu, which is already held here: self-deadlock"
+}
+
+// detachedWork spawns the blocking work; the spawner does not block.
+func (sh *shard) detachedWork() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	go sh.flush()
+}
+
+// deferredFlush schedules the flush for exit; defer ordering is out of
+// scope, so no finding.
+func (sh *shard) deferredFlush() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	defer sh.flush()
+	sh.n++
+}
+
+// suppressed documents why the blocking call is acceptable.
+func (sh *shard) suppressed() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	//lint:ignore procmine/lockheldblocking startup-only path, no concurrent ingest yet
+	sh.flush()
+}

@@ -1,0 +1,27 @@
+// Fixture b: the same held-region blocking call as fixture a, in a package
+// whose path falls outside the serve/core scope. RunUnscoped must report
+// nothing.
+package b
+
+import (
+	"os"
+	"sync"
+)
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (sh *shard) ingest(events []int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for range events {
+		sh.n++
+	}
+	sh.flush()
+}
+
+func (sh *shard) flush() {
+	_ = os.WriteFile("x", nil, 0o666)
+}

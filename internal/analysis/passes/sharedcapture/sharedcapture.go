@@ -36,7 +36,7 @@ import (
 
 	"procmine/internal/analysis"
 	"procmine/internal/analysis/cfg"
-	"procmine/internal/analysis/passes/internal/syncops"
+	"procmine/internal/analysis/internal/syncops"
 )
 
 // Analyzer returns the sharedcapture pass.

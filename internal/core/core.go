@@ -128,6 +128,8 @@ const denseAlphabetMax = 2048
 // across GOMAXPROCS workers (see parallel.go). Counts are integers and
 // addition is commutative, so the merged result is identical to the
 // sequential scan's — the determinism and oracle tests gate this.
+//
+//procmine:hot
 func followsCounts(l *wlog.Log) pairCounts {
 	acts := l.Activities()
 	if w := scanWorkers(len(l.Executions), len(acts)); w > 1 {

@@ -71,6 +71,7 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 	}
 	diag.Activities = len(work.Activities())
 
+	//lint:ignore procmine/ctxleak scan workers are bounded CPU work; diagnostics mirror the mining pipeline's phase-boundary cancellation
 	pc := followsCounts(work)
 	diag.OrderedPairs = len(pc.order)
 

@@ -87,10 +87,10 @@ func TestChaosIngestParity(t *testing.T) {
 	}
 }
 
-// advanceClock is a manually driven time source.
+// advanceClock is a manually driven time source implementing Clock.
 type advanceClock struct{ now time.Time }
 
-func (c *advanceClock) time() time.Time         { return c.now }
+func (c *advanceClock) Now() time.Time          { return c.now }
 func (c *advanceClock) advance(d time.Duration) { c.now = c.now.Add(d) }
 
 // badLine is a structurally bad record: an END without a START.
@@ -120,7 +120,7 @@ func TestBreakerTripAndReset(t *testing.T) {
 		Shards:  1,
 		Ingest:  wlog.IngestOptions{Policy: wlog.FailFast},
 		Breaker: BreakerConfig{Window: 8, TripRatio: 0.5, MinSamples: 2, Backoff: time.Second},
-		Clock:   clk.time,
+		Clock:   clk,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"procmine/internal/core"
 	"procmine/internal/wlog"
@@ -24,7 +23,7 @@ var errShardOverloaded = errors.New("serve: shard open-execution budget exhauste
 type shard struct {
 	id    int
 	opts  wlog.IngestOptions // configured (non-degraded) ingestion options
-	clock func() time.Time
+	clock Clock
 
 	mu        sync.Mutex
 	miner     *core.IncrementalMiner
@@ -129,7 +128,7 @@ func (sh *shard) ingest(ctx context.Context, events []wlog.Event) (ShardResult, 
 		}
 	}
 
-	now := sh.clock()
+	now := sh.clock.Now()
 	degraded := sh.brk.degraded(now)
 	if degraded {
 		sh.stream.SetPolicy(wlog.Skip)
@@ -247,7 +246,7 @@ func (sh *shard) stats() ShardStats {
 		Shard:       sh.id,
 		Executions:  sh.miner.Executions(),
 		Open:        sh.stream.OpenExecutions(),
-		Breaker:     sh.brk.status(sh.clock()),
+		Breaker:     sh.brk.status(sh.clock.Now()),
 		Records:     sh.rep.RecordsRead,
 		Skipped:     sh.rep.RecordsSkipped,
 		Quarantined: sh.rep.ExecutionsQuarantined,
