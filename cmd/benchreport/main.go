@@ -8,11 +8,22 @@
 // Usage:
 //
 //	benchreport [-short] [-out BENCH_mine.json]
+//	benchreport -check BENCH_mine.json
 //
 // -short skips the m=10000 mining cells (the paper's largest workloads) but
 // keeps the n=100/m=10000 scan ablation, which is the acceptance cell for
 // the sharded scan. CI runs the short sweep on every push and uploads the
 // artifact.
+//
+// The speedup gate guards the trajectory against the parallel-scan
+// regression recurring: on a multi-core machine (num_cpu > 1), every
+// ablation row that actually ran sharded (workers_used > 1) must beat the
+// sequential scan (speedup >= 1.0), or the command exits non-zero — after
+// writing the artifact, so the failing measurements are preserved for
+// inspection. On a single-CPU machine the gate is vacuous: a shard per
+// core cannot beat one core pretending to be many. -check applies the same
+// gate to an existing artifact without re-measuring, which is how CI's
+// multi-core bench job re-asserts the gate as a separate step.
 package main
 
 import (
@@ -41,10 +52,15 @@ type mineCell struct {
 
 // scanCell is one follows-scan ablation measurement: the sequential step-2
 // scan against the sharded scan at a forced worker count on the same log.
+// WorkersUsed is the worker count the sharded scan actually ran with after
+// clamping (see core.ScanWorkersUsed); a row with WorkersUsed == 1 fell
+// back to the sequential kernel, so its speedup carries no parallel signal
+// and the gate ignores it.
 type scanCell struct {
 	N            int     `json:"n"`
 	M            int     `json:"m"`
 	Workers      int     `json:"workers"`
+	WorkersUsed  int     `json:"workers_used"`
 	SequentialNs float64 `json:"sequential_ns_per_op"`
 	ParallelNs   float64 `json:"parallel_ns_per_op"`
 	Speedup      float64 `json:"speedup"`
@@ -152,12 +168,48 @@ func run(cfg config, measure measureFunc) (*report, error) {
 		}
 		rep.FollowsScan = append(rep.FollowsScan, scanCell{
 			N: scanN, M: scanM, Workers: w,
+			WorkersUsed:  core.ScanWorkersUsed(l, w),
 			SequentialNs: seqNs,
 			ParallelNs:   parNs,
 			Speedup:      speedup,
 		})
 	}
 	return rep, nil
+}
+
+// gateSpeedup enforces the parallel-scan trajectory: on a multi-core
+// machine every ablation row that actually ran sharded must beat the
+// sequential scan. Rows whose worker request degenerated to the sequential
+// kernel (WorkersUsed <= 1) carry no parallel signal and are skipped, as is
+// the whole gate on a single-CPU machine, where a speedup above 1.0 is not
+// achievable by construction.
+func gateSpeedup(rep *report) error {
+	if rep.NumCPU <= 1 {
+		return nil
+	}
+	for _, c := range rep.FollowsScan {
+		if c.WorkersUsed > 1 && c.Speedup < 1.0 {
+			return fmt.Errorf("benchreport: parallel-scan regression: n=%d m=%d workers=%d (used %d): speedup %.2f < 1.0 on a %d-CPU machine",
+				c.N, c.M, c.Workers, c.WorkersUsed, c.Speedup, rep.NumCPU)
+		}
+	}
+	return nil
+}
+
+// loadReport reads a previously written artifact for -check mode.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreport: reading artifact: %w", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchreport: decoding %s: %w", path, err)
+	}
+	if rep.Schema != "procmine-bench-trajectory/v1" {
+		return nil, fmt.Errorf("benchreport: %s has schema %q, want procmine-bench-trajectory/v1", path, rep.Schema)
+	}
+	return &rep, nil
 }
 
 // writeReport renders the report as indented JSON.
@@ -173,14 +225,28 @@ func writeReport(path string, rep *report) error {
 	return nil
 }
 
-// cli parses flags, runs the sweep with real measurements, and writes the
-// artifact.
+// cli parses flags, runs the sweep with real measurements, writes the
+// artifact, and applies the speedup gate. In -check mode it only loads an
+// existing artifact and applies the gate.
 func cli(args []string) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_mine.json", "path of the JSON artifact to write")
 	short := fs.Bool("short", false, "skip the m=10000 mining cells (keeps the scan ablation)")
+	check := fs.String("check", "", "apply the speedup gate to an existing artifact instead of measuring")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("benchreport: parsing flags: %w", err)
+	}
+	if *check != "" {
+		rep, err := loadReport(*check)
+		if err != nil {
+			return err
+		}
+		if err := gateSpeedup(rep); err != nil {
+			return err
+		}
+		fmt.Printf("benchreport: %s passes the speedup gate (num_cpu=%d, %d scan cells)\n",
+			*check, rep.NumCPU, len(rep.FollowsScan))
+		return nil
 	}
 	rep, err := run(config{short: *short}, testing.Benchmark)
 	if err != nil {
@@ -191,7 +257,9 @@ func cli(args []string) error {
 	}
 	fmt.Printf("benchreport: wrote %s (%d mine cells, %d scan cells, GOMAXPROCS=%d)\n",
 		*out, len(rep.Table1Mine), len(rep.FollowsScan), rep.GOMAXPROCS)
-	return nil
+	// Gate last, so a regression still leaves the artifact on disk for
+	// inspection and upload.
+	return gateSpeedup(rep)
 }
 
 func main() {

@@ -48,6 +48,77 @@ func TestRunShortSweep(t *testing.T) {
 		if c.N != 100 || c.M != 10000 || c.Workers != wantWorkers[i] {
 			t.Fatalf("scan cell %d = %+v, want n=100 m=10000 workers=%d", i, c, wantWorkers[i])
 		}
+		// m=10000 executions dwarf every requested worker count, so no
+		// clamping applies and each row records a genuinely sharded run.
+		if c.WorkersUsed != c.Workers {
+			t.Fatalf("scan cell %d: workers_used = %d, want %d", i, c.WorkersUsed, c.Workers)
+		}
+	}
+}
+
+// TestGateSpeedup pins the regression gate's decision table: only sharded
+// rows on multi-core machines can fail it.
+func TestGateSpeedup(t *testing.T) {
+	cell := func(used int, speedup float64) scanCell {
+		return scanCell{N: 100, M: 10000, Workers: 4, WorkersUsed: used, Speedup: speedup}
+	}
+	cases := []struct {
+		name     string
+		numCPU   int
+		cells    []scanCell
+		wantFail bool
+	}{
+		{"single_cpu_vacuous", 1, []scanCell{cell(4, 0.5)}, false},
+		{"multi_cpu_regression", 4, []scanCell{cell(4, 0.8)}, true},
+		{"multi_cpu_healthy", 4, []scanCell{cell(2, 1.4), cell(4, 2.1)}, false},
+		{"degenerate_row_ignored", 4, []scanCell{cell(1, 0.5)}, false},
+		{"mixed_rows_fail_on_sharded", 4, []scanCell{cell(1, 0.5), cell(4, 0.9)}, true},
+		{"exactly_one_passes", 4, []scanCell{cell(4, 1.0)}, false},
+		{"no_scan_cells", 4, nil, false},
+	}
+	for _, tc := range cases {
+		rep := &report{NumCPU: tc.numCPU, FollowsScan: tc.cells}
+		err := gateSpeedup(rep)
+		if tc.wantFail && err == nil {
+			t.Errorf("%s: gate passed, want failure", tc.name)
+		}
+		if !tc.wantFail && err != nil {
+			t.Errorf("%s: gate failed: %v", tc.name, err)
+		}
+	}
+}
+
+// TestCheckMode round-trips the gate through the CLI: -check loads an
+// existing artifact and applies gateSpeedup without measuring anything.
+func TestCheckMode(t *testing.T) {
+	write := func(t *testing.T, rep *report) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH_mine.json")
+		if err := writeReport(path, rep); err != nil {
+			t.Fatalf("writeReport: %v", err)
+		}
+		return path
+	}
+	good := &report{
+		Schema: "procmine-bench-trajectory/v1", NumCPU: 4,
+		FollowsScan: []scanCell{{N: 100, M: 10000, Workers: 4, WorkersUsed: 4, Speedup: 1.7}},
+	}
+	if err := cli([]string{"-check", write(t, good)}); err != nil {
+		t.Errorf("check of healthy artifact failed: %v", err)
+	}
+	bad := &report{
+		Schema: "procmine-bench-trajectory/v1", NumCPU: 4,
+		FollowsScan: []scanCell{{N: 100, M: 10000, Workers: 4, WorkersUsed: 4, Speedup: 0.6}},
+	}
+	if err := cli([]string{"-check", write(t, bad)}); err == nil {
+		t.Error("check of regressed artifact passed, want failure")
+	}
+	wrongSchema := &report{Schema: "something-else/v9", NumCPU: 4}
+	if err := cli([]string{"-check", write(t, wrongSchema)}); err == nil {
+		t.Error("check of wrong-schema artifact passed, want failure")
+	}
+	if err := cli([]string{"-check", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("check of missing artifact passed, want failure")
 	}
 }
 
@@ -60,7 +131,7 @@ func TestWriteReportRoundTrip(t *testing.T) {
 		Short:      true,
 		Table1Mine: []mineCell{{N: 10, M: 100, NsPerOp: 123}},
 		FollowsScan: []scanCell{{
-			N: 100, M: 10000, Workers: 4,
+			N: 100, M: 10000, Workers: 4, WorkersUsed: 4,
 			SequentialNs: 200, ParallelNs: 100, Speedup: 2,
 		}},
 	}
@@ -79,7 +150,7 @@ func TestWriteReportRoundTrip(t *testing.T) {
 	if back.Schema != rep.Schema || len(back.Table1Mine) != 1 || len(back.FollowsScan) != 1 {
 		t.Fatalf("round-trip mismatch: %+v", back)
 	}
-	if back.FollowsScan[0].Speedup != 2 {
-		t.Fatalf("speedup lost in round trip: %+v", back.FollowsScan[0])
+	if back.FollowsScan[0].Speedup != 2 || back.FollowsScan[0].WorkersUsed != 4 {
+		t.Fatalf("speedup or workers_used lost in round trip: %+v", back.FollowsScan[0])
 	}
 }

@@ -20,9 +20,9 @@
 //	procmine-vet -baseline write BASELINE.json ./...   # accept the status quo
 //	procmine-vet -baseline check BASELINE.json ./...   # fail on new findings
 //
-// Check mode also warns about stale baseline entries — accepted findings
-// the tree no longer produces — so a fixed finding prompts a regenerate
-// rather than silently re-admitting its regression.
+// Check mode also fails on stale baseline entries — accepted findings the
+// tree no longer produces — so a fixed finding forces a regenerate rather
+// than silently re-admitting its regression later.
 //
 // With -json, standalone findings (and -baseline check regressions) are
 // emitted as a JSON array of {file, line, pass, message} objects for CI
@@ -170,10 +170,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		// Stale entries — accepted findings the tree no longer produces —
-		// are a warning, not a failure: the baseline still gates correctly,
-		// but it would silently re-admit a regression of the fixed finding
-		// until regenerated.
-		for _, e := range baseline.Stale(base, wd, findings) {
+		// fail the check just like regressions do: a stale baseline would
+		// silently re-admit a regression of the fixed finding, so the fix
+		// must be locked in with an immediate regenerate.
+		stale := baseline.Stale(base, wd, findings)
+		for _, e := range stale {
 			say(stderr, "procmine-vet: stale baseline entry: %s no longer produces %d × %s %q; regenerate with -baseline write\n",
 				e.File, e.Count, e.Pass, e.Message)
 		}
@@ -182,7 +183,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(regressed) > 0 {
 			say(stderr, "procmine-vet: %d finding(s) not accepted by %s\n", len(regressed), baselinePath)
 		}
-		return emit(stdout, stderr, wd, regressed, *jsonFlag, *timingFlag, res.Stats)
+		status := emit(stdout, stderr, wd, regressed, *jsonFlag, *timingFlag, res.Stats)
+		if status == 0 && len(stale) > 0 {
+			say(stderr, "procmine-vet: %s carries %d stale entr(y/ies); failing check until it is regenerated\n", baselinePath, len(stale))
+			return 1
+		}
+		return status
 	}
 
 	return emit(stdout, stderr, wd, findings, *jsonFlag, *timingFlag, res.Stats)

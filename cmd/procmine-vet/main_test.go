@@ -87,6 +87,34 @@ func TestBaselineCheckMissingFile(t *testing.T) {
 	}
 }
 
+// TestBaselineCheckFailsOnStaleEntries pins the stale gate: a baseline
+// accepting a finding this (clean) package no longer produces must fail
+// -baseline check, not merely warn, so fixes get locked in by regenerating.
+func TestBaselineCheckFailsOnStaleEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BASELINE.json")
+	stale := `{
+  "schema": "procmine-vet-baseline/v1",
+  "findings": [
+    {"file": "main.go", "pass": "hotalloc", "message": "long gone finding", "count": 2}
+  ],
+  "summary": {"hotalloc": 2}
+}` + "\n"
+	if err := os.WriteFile(path, []byte(stale), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", "check", path, "."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("check with stale baseline exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") ||
+		!strings.Contains(stderr.String(), "failing check") {
+		t.Errorf("stderr missing stale failure explanation:\n%s", stderr.String())
+	}
+}
+
 // TestBaselineRoundTrip writes a baseline for this (clean) package and
 // immediately checks against it.
 func TestBaselineRoundTrip(t *testing.T) {

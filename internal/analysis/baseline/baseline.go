@@ -200,7 +200,7 @@ func Diff(base *File, dir string, current []driver.Finding) []Entry {
 // carries; the returned entries hold the unjustified surplus. A stale entry
 // means someone fixed a baselined finding without regenerating — the
 // baseline would silently re-admit a regression of that exact finding, so
-// `-baseline check` reports the surplus as a warning.
+// `-baseline check` reports the surplus and fails until a regenerate.
 func Stale(base *File, dir string, current []driver.Finding) []Entry {
 	have := make(map[key]int)
 	for _, f := range current {

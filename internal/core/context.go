@@ -112,7 +112,7 @@ func MineGeneralDAGContext(ctx context.Context, l *wlog.Log, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	marked, err := markRequiredEdges(ctx, g, l)
+	marked, err := markRequired(ctx, g, l.Columnar())
 	if err != nil {
 		return nil, err
 	}

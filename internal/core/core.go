@@ -117,97 +117,117 @@ type pairCounts struct {
 // Table 1 workloads, where the O(len²·m) pair scan dominates mining.
 const denseAlphabetMax = 2048
 
-// followsCounts scans the log once (step 2 of each algorithm) and counts,
-// for every ordered activity pair (u, v), the number of executions in which
-// some instance of u terminates before some instance of v starts, plus the
-// number of executions in which instances of the two activities overlap in
-// time, and their per-pair co-occurrence counts.
+// scanCounts runs the step-2 scan (shared by every algorithm): the
+// columnar followsCounts kernel over pooled dense matrices for alphabets
+// up to denseAlphabetMax — sharded across scanWorkers goroutines when the
+// log is large enough — and the map accumulator beyond. The dense counts
+// are converted to the pairCounts map form exactly once, at the end, so
+// every downstream consumer (threshold rules, diagnostics, Support) reads
+// one representation regardless of the path taken.
+func scanCounts(l *wlog.Log) pairCounts {
+	col := l.Columnar()
+	n := col.Alphabet()
+	if n > denseAlphabetMax {
+		if w := scanWorkers(col.NumExecutions(), n); w > 1 {
+			return followsCountsMapParallel(l, w)
+		}
+		return followsCountsMap(l)
+	}
+	m := col.NumExecutions()
+	var cs *wlog.Counts
+	if w := scanWorkers(m, n); w > 1 {
+		cs = scanShards(col, w)
+	} else {
+		cs = col.AcquireCounts()
+		followsCounts(col, cs, 0, m)
+	}
+	pc := countsToPairs(col, cs)
+	col.ReleaseCounts(cs)
+	return pc
+}
+
+// followsCounts is the step-2 scan kernel: it accumulates, for every
+// ordered activity pair (u, v), the number of executions in [lo, hi) in
+// which some instance of u terminates before some instance of v starts,
+// plus the number of executions in which instances of the two activities
+// overlap in time, and their per-pair co-occurrence counts — all into the
+// dense matrices of cs, keyed by interner ID.
 //
-// The scan is the dominant O(len²·m) cost on the Table 1 workloads, and
-// executions are independent units of counting, so large logs are sharded
-// across GOMAXPROCS workers (see parallel.go). Counts are integers and
-// addition is commutative, so the merged result is identical to the
-// sequential scan's — the determinism and oracle tests gate this.
+// The kernel is the dominant O(len²·m) cost on the Table 1 workloads, so
+// it runs as pure index arithmetic over the columnar arenas: activity IDs
+// and (sec, nsec) instants are flat columns, per-execution dedup uses the
+// generation-marked seen matrices (no clearing), and co-occurrence reads
+// the prededuplicated distinct-set arena. It allocates nothing; parallel
+// shards run it over disjoint execution ranges into private pooled
+// matrices (see parallel.go) and merge by integer addition, so the merged
+// result is byte-identical to a sequential scan — the oracle and
+// determinism tests gate this.
+//
+// The (sec, nsec) comparisons reproduce time.Time wall-clock ordering
+// exactly: end(i) < start(j) here iff Step.Before reports it.
 //
 //procmine:hot
-func followsCounts(l *wlog.Log) pairCounts {
-	acts := l.Activities()
-	if w := scanWorkers(len(l.Executions), len(acts)); w > 1 {
-		return followsCountsParallel(l, acts, w)
-	}
-	return followsCountsSeq(l, acts)
-}
-
-// followsCountsSeq is the single-threaded scan: the dense n×n accumulator
-// for alphabets up to denseAlphabetMax, the hash-map accumulator beyond.
-func followsCountsSeq(l *wlog.Log, acts []string) pairCounts {
-	if len(acts) <= denseAlphabetMax {
-		return followsCountsDenseImpl(l, acts)
-	}
-	return followsCountsMap(l)
-}
-
-// followsCountsDenseImpl accumulates into n×n int32 matrices with a
-// generation-marked "seen" matrix (no per-execution clearing), converting
-// to the map form once at the end.
-func followsCountsDenseImpl(l *wlog.Log, acts []string) pairCounts {
-	n := len(acts)
-	index := make(map[string]int, n)
-	for i, a := range acts {
-		index[a] = i
-	}
-	order := make([]int32, n*n)
-	overlap := make([]int32, n*n)
-	cooc := make([]int32, n*n)
-	seenOrder := make([]int32, n*n)
-	seenOverlap := make([]int32, n*n)
-
-	ids := make([]int, 0, 64)
-	for gen, exec := range l.Executions {
-		mark := int32(gen + 1)
-		steps := exec.Steps
-		ids = ids[:0]
-		for i := range steps {
-			ids = append(ids, index[steps[i].Activity])
-		}
-		set := exec.ActivitySet()
+func followsCounts(col *wlog.Columnar, cs *wlog.Counts, lo, hi int) {
+	n := cs.N
+	acts := col.StepActs()
+	startSec, startNsec, endSec, endNsec := col.StepTimes()
+	off := col.ExecBounds()
+	setIDs, setOff := col.DistinctSets()
+	execSet := col.ExecSet()
+	for e := lo; e < hi; e++ {
+		cs.Gen++
+		mark := cs.Gen
+		set := setIDs[setOff[execSet[e]]:setOff[execSet[e]+1]]
 		for i := 0; i < len(set); i++ {
-			ai := index[set[i]]
+			row := int(set[i]) * n
 			for j := i + 1; j < len(set); j++ {
-				bi := index[set[j]]
-				lo, hi := ai, bi
-				if lo > hi {
-					lo, hi = hi, lo
-				}
-				cooc[lo*n+hi]++
+				// set is sorted ascending, so row's ID < set[j]: the cell is
+				// already in the unordered (lo < hi) keying.
+				cs.Cooc[row+int(set[j])]++
 			}
 		}
-		for i := range steps {
-			for j := range steps {
-				if i == j || ids[i] == ids[j] {
+		b, t := int(off[e]), int(off[e+1])
+		for i := b; i < t; i++ {
+			ai := int(acts[i])
+			for j := b; j < t; j++ {
+				aj := int(acts[j])
+				if i == j || ai == aj {
 					continue
 				}
 				switch {
-				case steps[i].Before(steps[j]):
-					cell := ids[i]*n + ids[j]
-					if seenOrder[cell] != mark {
-						seenOrder[cell] = mark
-						order[cell]++
+				case endSec[i] < startSec[j] ||
+					(endSec[i] == startSec[j] && endNsec[i] < startNsec[j]):
+					cell := ai*n + aj
+					if cs.SeenOrder[cell] != mark {
+						cs.SeenOrder[cell] = mark
+						cs.Order[cell]++
 					}
-				case i < j && steps[i].Overlaps(steps[j]):
-					lo, hi := ids[i], ids[j]
-					if lo > hi {
-						lo, hi = hi, lo
+				case i < j &&
+					(startSec[i] < endSec[j] ||
+						(startSec[i] == endSec[j] && startNsec[i] < endNsec[j])) &&
+					(startSec[j] < endSec[i] ||
+						(startSec[j] == endSec[i] && startNsec[j] < endNsec[i])):
+					u, v := ai, aj
+					if u > v {
+						u, v = v, u
 					}
-					cell := lo*n + hi
-					if seenOverlap[cell] != mark {
-						seenOverlap[cell] = mark
-						overlap[cell]++
+					cell := u*n + v
+					if cs.SeenOverlap[cell] != mark {
+						cs.SeenOverlap[cell] = mark
+						cs.Overlap[cell]++
 					}
 				}
 			}
 		}
 	}
+}
+
+// countsToPairs converts the dense interner-ID matrices to the pairCounts
+// map form the assembly and diagnostics stages consume. It runs once per
+// scan, outside the hot kernel.
+func countsToPairs(col *wlog.Columnar, cs *wlog.Counts) pairCounts {
+	labels := col.Labels()
+	n := cs.N
 	pc := pairCounts{
 		order:   make(map[graph.Edge]int),
 		overlap: make(map[graph.Edge]int),
@@ -216,15 +236,15 @@ func followsCountsDenseImpl(l *wlog.Log, acts []string) pairCounts {
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			cell := u*n + v
-			if c := order[cell]; c > 0 {
-				pc.order[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+			if c := cs.Order[cell]; c > 0 {
+				pc.order[graph.Edge{From: labels[u], To: labels[v]}] = int(c)
 			}
 			if u < v {
-				if c := overlap[cell]; c > 0 {
-					pc.overlap[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+				if c := cs.Overlap[cell]; c > 0 {
+					pc.overlap[graph.Edge{From: labels[u], To: labels[v]}] = int(c)
 				}
-				if c := cooc[cell]; c > 0 {
-					pc.cooc[graph.Edge{From: acts[u], To: acts[v]}] = int(c)
+				if c := cs.Cooc[cell]; c > 0 {
+					pc.cooc[graph.Edge{From: labels[u], To: labels[v]}] = int(c)
 				}
 			}
 		}
@@ -234,7 +254,8 @@ func followsCountsDenseImpl(l *wlog.Log, acts []string) pairCounts {
 
 // followsCountsMap is the hash-map accumulator, retained for very large
 // alphabets where dense matrices would dominate memory (and as the oracle
-// in tests). FollowsCountsMap exposes it for the ablation benchmark.
+// the columnar kernel is property-tested against). FollowsCountsMap exposes
+// it for the ablation benchmark.
 func followsCountsMap(l *wlog.Log) pairCounts {
 	pc := pairCounts{
 		order:   make(map[graph.Edge]int),
@@ -294,7 +315,7 @@ func buildFollowsGraph(l *wlog.Log, opt Options) (*graph.Digraph, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	return assembleFollowsGraph(l.Activities(), followsCounts(l), opt)
+	return assembleFollowsGraph(l.Columnar().Labels(), scanCounts(l), opt)
 }
 
 // assembleFollowsGraph performs steps 1-3 on precomputed pair counts. It is
@@ -377,14 +398,14 @@ func FollowsGraph(l *wlog.Log, opt Options) (*graph.Digraph, error) {
 // pair: the number of executions in which the first activity terminates
 // before the second starts. Useful for inspecting noise (Section 6).
 func FollowsCounts(l *wlog.Log) map[graph.Edge]int {
-	return followsCounts(l).order
+	return scanCounts(l).order
 }
 
 // OverlapCounts returns, for every unordered activity pair (keyed with
 // From < To), the number of executions in which instances of the two
 // activities overlapped in time — direct evidence of independence.
 func OverlapCounts(l *wlog.Log) map[graph.Edge]int {
-	return followsCounts(l).overlap
+	return scanCounts(l).overlap
 }
 
 // specialFormError checks the Algorithm 1 precondition and describes the
@@ -416,19 +437,28 @@ func adaptiveThreshold(cooc int, eps float64) (int, error) {
 }
 
 // FollowsCountsMap returns the ordered-pair support counts computed with
-// the hash-map accumulator — the baseline the dense production accumulator
-// is benchmarked against (see bench_test.go's ablations) and the oracle the
+// the hash-map accumulator — the baseline the dense columnar kernel is
+// benchmarked against (see bench_test.go's ablations) and the oracle the
 // parallel scan is checked against.
 func FollowsCountsMap(l *wlog.Log) map[graph.Edge]int {
 	return followsCountsMap(l).order
 }
 
 // FollowsCountsSequential returns the ordered-pair support counts computed
-// by the single-threaded production accumulator (the dense/map switch
-// without sharding) — the baseline of the parallel-scan ablation recorded
-// in the bench trajectory (cmd/benchreport).
+// by the single-threaded production path (the columnar dense kernel, or the
+// map accumulator past denseAlphabetMax, without sharding) — the baseline
+// of the parallel-scan ablation recorded in the bench trajectory
+// (cmd/benchreport).
 func FollowsCountsSequential(l *wlog.Log) map[graph.Edge]int {
-	return followsCountsSeq(l, l.Activities()).order
+	col := l.Columnar()
+	if col.Alphabet() > denseAlphabetMax {
+		return followsCountsMap(l).order
+	}
+	cs := col.AcquireCounts()
+	followsCounts(col, cs, 0, col.NumExecutions())
+	pc := countsToPairs(col, cs)
+	col.ReleaseCounts(cs)
+	return pc.order
 }
 
 // FollowsCountsParallel returns the ordered-pair support counts computed by
@@ -438,12 +468,20 @@ func FollowsCountsSequential(l *wlog.Log) map[graph.Edge]int {
 // workers) fall back to the sequential accumulator. The result is
 // identical to FollowsCountsSequential's for every log and worker count.
 func FollowsCountsParallel(l *wlog.Log, workers int) map[graph.Edge]int {
-	acts := l.Activities()
-	if workers > len(l.Executions) {
-		workers = len(l.Executions)
+	col := l.Columnar()
+	if workers > col.NumExecutions() {
+		workers = col.NumExecutions()
 	}
 	if workers < 2 {
-		return followsCountsSeq(l, acts).order
+		return FollowsCountsSequential(l)
 	}
-	return followsCountsParallel(l, acts, workers).order
+	if col.Alphabet() > parallelDenseAlphabetMax {
+		// Past the per-worker dense-memory budget the shards accumulate into
+		// maps, exactly as the auto-dispatched path would.
+		return followsCountsMapParallel(l, workers).order
+	}
+	cs := scanShards(col, workers)
+	pc := countsToPairs(col, cs)
+	col.ReleaseCounts(cs)
+	return pc.order
 }

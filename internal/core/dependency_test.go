@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -247,32 +248,42 @@ func TestFollowsGraphIncludesIsolatedActivities(t *testing.T) {
 	}
 }
 
-func TestFollowsCountsDenseImplMatchesMapImpl(t *testing.T) {
-	// The production dense accumulator and the map fallback must agree on
-	// all three count families, including overlaps.
+// TestColumnarCountsMatchMapOracle is the scan-parity property: the
+// columnar dense kernel (through the production scanCounts dispatcher) must
+// reproduce the map accumulator byte-for-byte on all three count families —
+// order, overlap, co-occurrence — across fixtures with overlaps, repeats,
+// and empty logs, and across a Table-1-style synthetic grid of graph and
+// log sizes.
+func TestColumnarCountsMatchMapOracle(t *testing.T) {
 	base := wlog.FromString("tmp", "A")
 	s := base.Steps[0]
 	overlapExec := wlog.Execution{ID: "ov", Steps: []wlog.Step{
 		s,
 		{Activity: "B", Start: s.Start.Add(s.End.Sub(s.Start) / 2), End: s.End.Add(s.End.Sub(s.Start))},
 	}}
-	logs := []*wlog.Log{
-		wlog.LogFromStrings("ABCE", "ACDE", "ADBE"),
-		wlog.LogFromStrings("ABDCE", "ABDCBCE", "ABCBDCE", "ADE"),
-		{Executions: []wlog.Execution{wlog.FromString("e1", "AB"), overlapExec}},
-		{},
+	logs := map[string]*wlog.Log{
+		"paper":    wlog.LogFromStrings("ABCE", "ACDE", "ADBE"),
+		"cyclic":   wlog.LogFromStrings("ABDCE", "ABDCBCE", "ABCBDCE", "ADE"),
+		"overlap":  {Executions: []wlog.Execution{wlog.FromString("e1", "AB"), overlapExec}},
+		"overlaps": overlapLog(40),
+		"empty":    {},
 	}
-	for i, l := range logs {
-		d := followsCounts(l)
+	for _, n := range []int{5, 15, 40} {
+		for _, m := range []int{10, 120} {
+			logs[fmt.Sprintf("synth_n%d_m%d", n, m)] = scanLog(t, n, m)
+		}
+	}
+	for name, l := range logs {
+		d := scanCounts(l)
 		m := followsCountsMap(l)
 		if !reflect.DeepEqual(d.order, m.order) {
-			t.Fatalf("log %d: order counts differ:\ndense %v\nmap   %v", i, d.order, m.order)
+			t.Fatalf("%s: order counts differ:\ncolumnar %v\nmap      %v", name, d.order, m.order)
 		}
 		if !reflect.DeepEqual(d.overlap, m.overlap) {
-			t.Fatalf("log %d: overlap counts differ:\ndense %v\nmap   %v", i, d.overlap, m.overlap)
+			t.Fatalf("%s: overlap counts differ:\ncolumnar %v\nmap      %v", name, d.overlap, m.overlap)
 		}
 		if !reflect.DeepEqual(d.cooc, m.cooc) {
-			t.Fatalf("log %d: cooc counts differ:\ndense %v\nmap   %v", i, d.cooc, m.cooc)
+			t.Fatalf("%s: cooc counts differ:\ncolumnar %v\nmap      %v", name, d.cooc, m.cooc)
 		}
 	}
 }

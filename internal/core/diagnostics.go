@@ -72,7 +72,7 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 	diag.Activities = len(work.Activities())
 
 	//lint:ignore procmine/ctxleak scan workers are bounded CPU work; diagnostics mirror the mining pipeline's phase-boundary cancellation
-	pc := followsCounts(work)
+	pc := scanCounts(work)
 	diag.OrderedPairs = len(pc.order)
 
 	// Reconstruct the funnel stage by stage, reusing the pair counts
@@ -120,7 +120,7 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 	afterStep4 := g.NumEdges()
 	_ = afterSteps13
 
-	marked, err := markRequiredEdges(ctx, g, work)
+	marked, err := markRequired(ctx, g, work.Columnar())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -51,6 +51,16 @@ func overlapLog(m int) *wlog.Log {
 	return l
 }
 
+// parallelCounts runs the dense sharded scan at a forced worker count and
+// converts the merged matrices, mirroring the production parallel path.
+func parallelCounts(l *wlog.Log, workers int) pairCounts {
+	col := l.Columnar()
+	cs := scanShards(col, workers)
+	pc := countsToPairs(col, cs)
+	col.ReleaseCounts(cs)
+	return pc
+}
+
 func TestScanWorkersGates(t *testing.T) {
 	withGOMAXPROCS(8, func() {
 		cases := []struct {
@@ -58,11 +68,11 @@ func TestScanWorkersGates(t *testing.T) {
 		}{
 			{m: 10, n: 10, want: 1},    // too few executions to shard
 			{m: 640, n: 10, want: 8},   // full GOMAXPROCS fan-out
-			{m: 200, n: 10, want: 3},   // capped by scanShardMin per shard
+			{m: 100, n: 10, want: 3},   // capped by scanShardMin per shard
 			{m: 640, n: 1500, want: 1}, // dense-memory gap: sequential dense
 			{m: 640, n: 3000, want: 8}, // past denseAlphabetMax: map shards
-			{m: 127, n: 10, want: 1},   // one full shard is not sharding
-			{m: 128, n: 10, want: 2},   // exactly two shards
+			{m: 63, n: 10, want: 1},    // one full shard is not sharding
+			{m: 64, n: 10, want: 2},    // exactly two shards
 		}
 		for _, c := range cases {
 			if got := scanWorkers(c.m, c.n); got != c.want {
@@ -77,6 +87,48 @@ func TestScanWorkersGates(t *testing.T) {
 	})
 }
 
+// TestShardBounds pins the shard splitter: boundaries cover [0, m] exactly,
+// sizes differ by at most one, and — for worker counts scanWorkers can pick
+// — no shard falls below scanShardMin (the degenerate last shard the old
+// proportional split allowed).
+func TestShardBounds(t *testing.T) {
+	for _, c := range []struct{ m, workers int }{
+		{0, 4}, {1, 4}, {7, 3}, {64, 2}, {65, 2}, {96, 3}, {100, 3},
+		{127, 8}, {1000, 8}, {13, 13}, {13, 40},
+	} {
+		bounds := shardBounds(c.m, c.workers)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != c.m {
+			t.Fatalf("shardBounds(%d, %d) = %v: does not cover [0, %d]", c.m, c.workers, bounds, c.m)
+		}
+		minSize, maxSize := c.m+1, 0
+		for w := 0; w+1 < len(bounds); w++ {
+			size := bounds[w+1] - bounds[w]
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+		}
+		if len(bounds) > 2 && maxSize-minSize > 1 {
+			t.Errorf("shardBounds(%d, %d) = %v: shard sizes differ by %d",
+				c.m, c.workers, bounds, maxSize-minSize)
+		}
+	}
+	// Every worker count scanWorkers can return keeps shards >= scanShardMin.
+	for m := scanShardMin; m < 40*scanShardMin; m += 7 {
+		for workers := 2; workers <= m/scanShardMin; workers++ {
+			bounds := shardBounds(m, workers)
+			for w := 0; w+1 < len(bounds); w++ {
+				if size := bounds[w+1] - bounds[w]; size < scanShardMin {
+					t.Fatalf("shardBounds(%d, %d): shard %d has %d < scanShardMin executions",
+						m, workers, w, size)
+				}
+			}
+		}
+	}
+}
+
 // TestFollowsCountsParallelMatchesOracle checks the sharded scan against the
 // hash-map oracle for all three count families across worker counts.
 func TestFollowsCountsParallelMatchesOracle(t *testing.T) {
@@ -89,9 +141,8 @@ func TestFollowsCountsParallelMatchesOracle(t *testing.T) {
 	}
 	for name, l := range logs {
 		oracle := followsCountsMap(l)
-		acts := l.Activities()
 		for _, workers := range []int{2, 3, 5, 8} {
-			got := followsCountsParallel(l, acts, workers)
+			got := parallelCounts(l, workers)
 			if !reflect.DeepEqual(got.order, oracle.order) {
 				t.Fatalf("%s/w=%d: order counts differ from oracle", name, workers)
 			}
@@ -122,7 +173,7 @@ func TestFollowsCountsParallelMapShards(t *testing.T) {
 		t.Fatalf("fixture alphabet %d does not exceed parallelDenseAlphabetMax", n)
 	}
 	oracle := followsCountsMap(l)
-	got := followsCountsParallel(l, l.Activities(), 4)
+	got := followsCountsMapParallel(l, 4)
 	if !reflect.DeepEqual(got.order, oracle.order) || !reflect.DeepEqual(got.cooc, oracle.cooc) {
 		t.Fatal("map-sharded parallel scan differs from oracle")
 	}
@@ -130,13 +181,13 @@ func TestFollowsCountsParallelMapShards(t *testing.T) {
 
 // TestFollowsCountsParallelDeterministic re-runs the sharded scan and
 // requires identical results every time (the merge is pure integer
-// summation, so there is nothing schedule-dependent to observe).
+// summation into dense cells, so there is nothing schedule-dependent to
+// observe), exercising the count-matrix pool across repeated acquisitions.
 func TestFollowsCountsParallelDeterministic(t *testing.T) {
 	l := scanLog(t, 15, 256)
-	acts := l.Activities()
-	first := followsCountsParallel(l, acts, 4)
+	first := parallelCounts(l, 4)
 	for i := 0; i < 20; i++ {
-		again := followsCountsParallel(l, acts, 4)
+		again := parallelCounts(l, 4)
 		if !reflect.DeepEqual(again.order, first.order) ||
 			!reflect.DeepEqual(again.overlap, first.overlap) ||
 			!reflect.DeepEqual(again.cooc, first.cooc) {
@@ -162,17 +213,17 @@ func TestFollowsCountsParallelPublicAPI(t *testing.T) {
 }
 
 // TestFollowsCountsAutoParallelMatchesSequential drives the production
-// dispatcher (followsCounts) through the sharded path by bumping GOMAXPROCS
-// and checks the end-to-end mining result is unchanged.
+// dispatcher (scanCounts) through the sharded path by bumping GOMAXPROCS
+// and checks the end-to-end counts are unchanged.
 func TestFollowsCountsAutoParallelMatchesSequential(t *testing.T) {
 	l := scanLog(t, 20, 512)
 	var seq, par pairCounts
-	withGOMAXPROCS(1, func() { seq = followsCounts(l) })
+	withGOMAXPROCS(1, func() { seq = scanCounts(l) })
 	withGOMAXPROCS(4, func() {
 		if w := scanWorkers(len(l.Executions), len(l.Activities())); w < 2 {
 			t.Fatalf("fixture does not trigger the parallel path (workers=%d)", w)
 		}
-		par = followsCounts(l)
+		par = scanCounts(l)
 	})
 	if !reflect.DeepEqual(seq.order, par.order) ||
 		!reflect.DeepEqual(seq.overlap, par.overlap) ||

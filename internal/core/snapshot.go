@@ -211,15 +211,26 @@ func (im *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*grap
 	if err != nil {
 		return nil, fmt.Errorf("core: incremental marking: %w", err)
 	}
-	marked := make(map[graph.Edge]bool)
+	// The marking replays through the same dense MarkSubsetInto kernel the
+	// batch pipeline uses: one scratch and one pair bitset serve every
+	// signature, and the bitset union is order-independent, so iterating
+	// the signature map directly is deterministic.
+	n := sr.N()
+	sc := sr.NewMarkScratch()
+	markedBits := graph.NewBitset(n * n)
 	for _, set := range im.sigs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for _, e := range sr.ReduceSubset(set) {
-			marked[e] = true
+		sc.Members = sc.Members[:0]
+		for _, a := range set {
+			if i, ok := g.VertexIndex(a); ok {
+				sc.Members = append(sc.Members, i)
+			}
 		}
+		sr.MarkSubsetInto(sc.Members, sc, markedBits)
 	}
+	marked := markedToEdges(g, markedBits)
 	for _, e := range g.Edges() {
 		if !marked[e] {
 			g.RemoveEdge(e.From, e.To)

@@ -29,7 +29,7 @@ func (s EdgeSupport) Confidence() float64 {
 // graphs counts are on raw (unlabeled) activities, so a loop edge B->C
 // reports the executions where some B instance preceded some C instance.
 func Support(l *wlog.Log, g *graph.Digraph) map[graph.Edge]EdgeSupport {
-	pc := followsCounts(l)
+	pc := scanCounts(l)
 	out := make(map[graph.Edge]EdgeSupport, g.NumEdges())
 	for _, e := range g.Edges() {
 		key := e

@@ -9,6 +9,7 @@ import (
 
 	"procmine/internal/core"
 	"procmine/internal/synth"
+	"procmine/internal/wlog"
 )
 
 // ScalingConfig parameterizes the linearity experiment behind the paper's
@@ -80,9 +81,7 @@ func RunScaling(cfg ScalingConfig) (*ScalingResult, error) {
 	for _, m := range cfg.Points {
 		l := full
 		if m < full.Len() {
-			sub := *full
-			sub.Executions = full.Executions[:m]
-			l = &sub
+			l = &wlog.Log{Executions: full.Executions[:m]}
 		}
 		best := time.Duration(math.MaxInt64)
 		for r := 0; r < cfg.Repetitions; r++ {

@@ -119,6 +119,24 @@ func (g *Digraph) HasEdge(from, to string) bool {
 	return g.succ[u][v]
 }
 
+// VertexIndex returns the dense index of the vertex labeled v and whether
+// it exists. Dense indices are assigned by AddVertex in insertion order and
+// are stable for the life of the graph; they address the index space used
+// by SubsetReducer.MarkSubsetInto.
+func (g *Digraph) VertexIndex(v string) (int, bool) {
+	i, ok := g.index[v]
+	return i, ok
+}
+
+// VertexLabel returns the label of the vertex at dense index i, or "" when
+// i is out of range. It is the inverse of VertexIndex.
+func (g *Digraph) VertexLabel(i int) string {
+	if i < 0 || i >= len(g.label) {
+		return ""
+	}
+	return g.label[i]
+}
+
 // Vertices returns all vertex labels in sorted order.
 func (g *Digraph) Vertices() []string {
 	out := make([]string, len(g.label))

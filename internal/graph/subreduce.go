@@ -108,3 +108,90 @@ func (r *SubsetReducer) ReduceSubset(members []string) []Edge {
 	})
 	return edges
 }
+
+// MarkScratch is the reusable working state of MarkSubsetInto: the member
+// bitset, one descendant row per vertex (flat), and a members buffer for
+// callers that translate label or interner IDs into dense indices. One
+// scratch serves one goroutine; allocate one per worker with NewMarkScratch
+// and reuse it across queries — MarkSubsetInto itself never allocates,
+// which is what keeps the Algorithm 2 marking kernel on the //procmine:hot
+// path allocation-free.
+type MarkScratch struct {
+	member  *Bitset
+	through []uint64 // one descendant row
+	desc    []uint64 // n rows × words, flat; row u = desc[u*words:(u+1)*words]
+	words   int
+	// Members is a caller-owned buffer of capacity n for assembling the
+	// dense member indices of a query without allocating.
+	Members []int
+}
+
+// NewMarkScratch allocates scratch for MarkSubsetInto queries against this
+// reducer's graph.
+func (r *SubsetReducer) NewMarkScratch() *MarkScratch {
+	words := (r.n + 63) / 64
+	return &MarkScratch{
+		member:  NewBitset(r.n),
+		through: make([]uint64, words),
+		desc:    make([]uint64, r.n*words),
+		words:   words,
+		Members: make([]int, 0, r.n),
+	}
+}
+
+// MarkSubsetInto computes the transitive reduction of the subgraph induced
+// by the given dense vertex indices and sets, for each reduction edge
+// (u, v), bit u*n+v of marked (capacity n²). It is the allocation-free,
+// index-space form of ReduceSubset: the same Algorithm 4 reverse sweep over
+// the shared topological order, writing into caller-owned state instead of
+// materializing an edge slice. Out-of-range indices are ignored. Multiple
+// goroutines may query concurrently with distinct scratches and marked
+// sets; marked sets merge with Bitset.Or since each query only sets bits.
+func (r *SubsetReducer) MarkSubsetInto(members []int, sc *MarkScratch, marked *Bitset) {
+	sc.member.Reset()
+	any := false
+	for _, v := range members {
+		if v >= 0 && v < r.n {
+			sc.member.Set(v)
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	w := sc.words
+	for i := r.n - 1; i >= 0; i-- {
+		u := r.order[i]
+		if !sc.member.Has(u) {
+			continue
+		}
+		through := sc.through
+		for k := range through {
+			through[k] = 0
+		}
+		// Member successors appear after u in topological order, so their
+		// descendant rows were rewritten earlier in this sweep — rows from
+		// previous queries are never read.
+		for _, v := range r.succ[u] {
+			if sc.member.Has(v) {
+				row := sc.desc[v*w : (v+1)*w]
+				for k := range through {
+					through[k] |= row[k]
+				}
+			}
+		}
+		drow := sc.desc[u*w : (u+1)*w]
+		copy(drow, through)
+		for _, v := range r.succ[u] {
+			if !sc.member.Has(v) || through[v>>6]&(1<<(uint(v)&63)) != 0 {
+				continue
+			}
+			marked.Set(u*r.n + v)
+			drow[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+}
+
+// N returns the dense vertex count of the reducer's graph — the dimension
+// of the index space MarkSubsetInto operates in.
+func (r *SubsetReducer) N() int { return r.n }

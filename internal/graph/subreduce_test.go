@@ -90,6 +90,100 @@ func TestSubsetReducerIgnoresUnknownLabels(t *testing.T) {
 	}
 }
 
+// markedEdges converts a MarkSubsetInto result back to a sorted edge slice
+// for comparison against ReduceSubset.
+func markedEdges(g *Digraph, marked *Bitset) []Edge {
+	n := g.NumVertices()
+	var out []Edge
+	for _, cell := range marked.Elements() {
+		out = append(out, Edge{From: g.label[cell/n], To: g.label[cell%n]})
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j].From < es[j-1].From ||
+			(es[j].From == es[j-1].From && es[j].To < es[j-1].To)); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// TestMarkSubsetIntoMatchesReduceSubset pins the scratch-based marking
+// kernel against the allocating ReduceSubset across random DAGs and
+// subsets, reusing one scratch and one marked set across queries so
+// cross-query staleness would surface.
+func TestMarkSubsetIntoMatchesReduceSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		n := 2 + int(rng.Int31n(16))
+		g := randomDAG(rng, n, 0.35)
+		sr, err := NewSubsetReducer(g)
+		if err != nil {
+			return false
+		}
+		sc := sr.NewMarkScratch()
+		labels := g.Vertices()
+		for trial := 0; trial < 6; trial++ {
+			var members []string
+			for _, v := range labels {
+				if rng.Float64() < 0.6 {
+					members = append(members, v)
+				}
+			}
+			sc.Members = sc.Members[:0]
+			for _, v := range members {
+				if i, ok := g.VertexIndex(v); ok {
+					sc.Members = append(sc.Members, i)
+				}
+			}
+			marked := NewBitset(sr.N() * sr.N())
+			sr.MarkSubsetInto(sc.Members, sc, marked)
+			got := markedEdges(g, marked)
+			want := sr.ReduceSubset(members)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("subset %v: MarkSubsetInto = %v, ReduceSubset = %v", members, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarkSubsetIntoAccumulates checks that marks from successive queries
+// accumulate in one marked set (the union the marking pass consumes) and
+// that out-of-range indices are ignored.
+func TestMarkSubsetIntoAccumulates(t *testing.T) {
+	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "C"}, Edge{"A", "C"}, Edge{"C", "D"})
+	sr, err := NewSubsetReducer(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sr.NewMarkScratch()
+	marked := NewBitset(sr.N() * sr.N())
+	idx := func(v string) int {
+		i, ok := g.VertexIndex(v)
+		if !ok {
+			t.Fatalf("missing vertex %q", v)
+		}
+		return i
+	}
+	sr.MarkSubsetInto([]int{idx("A"), idx("C")}, sc, marked)
+	sr.MarkSubsetInto([]int{idx("C"), idx("D"), -1, 99}, sc, marked)
+	want := []Edge{{"A", "C"}, {"C", "D"}}
+	if got := markedEdges(g, marked); !reflect.DeepEqual(got, want) {
+		t.Fatalf("accumulated marks = %v, want %v", got, want)
+	}
+}
+
 func TestSubsetReducerRejectsCyclicGraph(t *testing.T) {
 	g := NewFromEdges(Edge{"A", "B"}, Edge{"B", "A"})
 	if _, err := NewSubsetReducer(g); !errors.Is(err, ErrCyclic) {

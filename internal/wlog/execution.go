@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -112,9 +113,36 @@ func (e Execution) Events() []Event {
 }
 
 // Log is a set of executions of the same process.
+//
+// Log contains a lazily built cache of its columnar view (see Columnar), so
+// it must not be copied by value after first use; pass *Log, as every
+// method already does.
 type Log struct {
 	// Executions in no particular order; each has a unique ID.
 	Executions []Execution
+
+	// colMu guards col, the cached columnar view.
+	colMu sync.Mutex
+	col   *Columnar
+}
+
+// Columnar returns the columnar view of the log, building it on first use
+// and caching it for every later mining call. The cache is invalidated by
+// shape: appending or removing executions (or steps) triggers a rebuild on
+// the next call. Mutating steps in place without changing counts is not
+// detected; rebuild with BuildColumnar explicitly after such edits.
+func (l *Log) Columnar() *Columnar {
+	steps := 0
+	for i := range l.Executions {
+		steps += len(l.Executions[i].Steps)
+	}
+	l.colMu.Lock()
+	defer l.colMu.Unlock()
+	if l.col != nil && l.col.NumExecutions() == len(l.Executions) && l.col.NumSteps() == steps {
+		return l.col
+	}
+	l.col = BuildColumnar(l)
+	return l.col
 }
 
 // Len returns the number of executions (the paper's m).
