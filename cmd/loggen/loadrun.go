@@ -24,11 +24,39 @@ import (
 type loadStats struct {
 	requests  int
 	ok        int
-	rejected  int // 429: shard backpressure
-	failed    int // any other non-2xx or transport error
+	rejected  int            // 429: shard backpressure
+	failed    int            // any other non-2xx or transport error
+	byClass   map[string]int // non-2xx outcomes by status class ("4xx", "5xx", "error")
 	events    int
 	execs     int
 	latencies []time.Duration
+}
+
+// statusClass buckets an HTTP status code ("4xx", "5xx", ...).
+func statusClass(code int) string {
+	if code >= 100 && code < 600 {
+		return fmt.Sprintf("%dxx", code/100)
+	}
+	return "other"
+}
+
+// countClass tallies one non-2xx outcome under its status class; transport
+// failures use the pseudo-class "error".
+func (st *loadStats) countClass(class string) {
+	if st.byClass == nil {
+		st.byClass = make(map[string]int)
+	}
+	st.byClass[class]++
+}
+
+// errRatio is the fraction of requests that did not succeed — rejections
+// (429) and failures both count, since either means the server did not
+// accept the batch.
+func (st *loadStats) errRatio() float64 {
+	if st.requests == 0 {
+		return 0
+	}
+	return float64(st.rejected+st.failed) / float64(st.requests)
 }
 
 // percentile returns the p-th latency percentile (0 < p <= 100) of a
@@ -57,6 +85,18 @@ func (st *loadStats) report(w io.Writer, elapsed time.Duration) {
 		st.execs, st.events, elapsed.Round(time.Millisecond), float64(st.execs)/secs, float64(st.events)/secs)
 	_, _ = fmt.Fprintf(w, "loggen: %d requests: %d ok, %d rejected (429), %d failed\n",
 		st.requests, st.ok, st.rejected, st.failed)
+	if len(st.byClass) > 0 {
+		classes := make([]string, 0, len(st.byClass))
+		for c := range st.byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, c := range classes {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, st.byClass[c]))
+		}
+		_, _ = fmt.Fprintf(w, "loggen: non-2xx by class: %s\n", strings.Join(parts, " "))
+	}
 	sorted := append([]time.Duration(nil), st.latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	_, _ = fmt.Fprintf(w, "loggen: latency p50=%v p95=%v p99=%v max=%v\n",
@@ -77,11 +117,24 @@ func reID(e wlog.Execution, cycle int) wlog.Execution {
 	return out
 }
 
+// finish prints the summary and enforces the error-ratio budget: the run
+// fails when more than maxRatio of its requests were rejected or failed,
+// so smoke scripts get a non-zero exit from an unhealthy server even
+// though individual bad responses only warn.
+func (st *loadStats) finish(w io.Writer, elapsed time.Duration, maxRatio float64) error {
+	st.report(w, elapsed)
+	if r := st.errRatio(); r > maxRatio {
+		return fmt.Errorf("error ratio %.3f (%d rejected + %d failed of %d requests) exceeds -max-error-ratio %.3f",
+			r, st.rejected, st.failed, st.requests, maxRatio)
+	}
+	return nil
+}
+
 // runLoad streams the generated log to target's /ingest endpoint in
 // batches of whole executions, paced at rate executions per second
 // (0 = unthrottled), until the log is exhausted — or, when duration > 0,
 // cycling the log with fresh instance IDs until the duration elapses.
-func runLoad(target string, l *procmine.Log, rate float64, duration time.Duration, batch int, w io.Writer) error {
+func runLoad(target string, l *procmine.Log, rate float64, duration time.Duration, batch int, maxErrRatio float64, w io.Writer) error {
 	if batch <= 0 {
 		batch = 1
 	}
@@ -98,8 +151,7 @@ func runLoad(target string, l *procmine.Log, rate float64, duration time.Duratio
 	for cycle := 0; ; cycle++ {
 		for i := 0; i < len(l.Executions); i += batch {
 			if duration > 0 && time.Since(start) >= duration {
-				st.report(w, time.Since(start))
-				return nil
+				return st.finish(w, time.Since(start), maxErrRatio)
 			}
 			if interval > 0 {
 				time.Sleep(time.Until(next))
@@ -122,6 +174,7 @@ func runLoad(target string, l *procmine.Log, rate float64, duration time.Duratio
 			st.requests++
 			if err != nil {
 				st.failed++
+				st.countClass("error")
 				_, _ = fmt.Fprintf(w, "loggen: request failed: %v\n", err)
 				continue
 			}
@@ -137,8 +190,10 @@ func runLoad(target string, l *procmine.Log, rate float64, duration time.Duratio
 				st.events += len(events)
 			case resp.StatusCode == http.StatusTooManyRequests:
 				st.rejected++
+				st.countClass(statusClass(resp.StatusCode))
 			default:
 				st.failed++
+				st.countClass(statusClass(resp.StatusCode))
 				_, _ = fmt.Fprintf(w, "loggen: request status %d\n", resp.StatusCode)
 			}
 		}
@@ -146,9 +201,5 @@ func runLoad(target string, l *procmine.Log, rate float64, duration time.Duratio
 			break
 		}
 	}
-	st.report(w, time.Since(start))
-	if st.failed > 0 {
-		return fmt.Errorf("%d of %d requests failed", st.failed, st.requests)
-	}
-	return nil
+	return st.finish(w, time.Since(start), maxErrRatio)
 }

@@ -73,6 +73,34 @@ func TestRunLoadModeDuration(t *testing.T) {
 	}
 }
 
+// TestRunLoadErrorRatio checks the -max-error-ratio exit contract: with the
+// default budget of 0 any failed request fails the run, while a budget of 1
+// tolerates everything.
+func TestRunLoadErrorRatio(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	err := run([]string{"-source", "graph10", "-m", "4", "-batch", "2", "-target", ts.URL})
+	if err == nil || !strings.Contains(err.Error(), "error ratio") {
+		t.Fatalf("err = %v, want error-ratio failure against an all-500 server", err)
+	}
+	if err := run([]string{"-source", "graph10", "-m", "4", "-batch", "2", "-target", ts.URL,
+		"-max-error-ratio", "1"}); err != nil {
+		t.Fatalf("-max-error-ratio 1 should tolerate failures, got %v", err)
+	}
+}
+
+// TestStatusClass pins the class bucketing.
+func TestStatusClass(t *testing.T) {
+	for code, want := range map[int]string{200: "2xx", 429: "4xx", 500: "5xx", 99: "other"} {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
 // TestRunLoadRejectsOutputArg checks the flag contract.
 func TestRunLoadRejectsOutputArg(t *testing.T) {
 	err := run([]string{"-source", "graph10", "-m", "2", "-target", "http://127.0.0.1:1", "out.txt"})

@@ -14,7 +14,9 @@
 // The output codec is inferred from the file extension; "-" writes text to
 // stdout. With -target the log is streamed to a running procmined's
 // /ingest endpoint instead — paced by -rate, cycling for -duration — and a
-// throughput/latency-percentile summary is printed.
+// throughput/latency-percentile summary is printed, with non-2xx responses
+// counted by status class. The run exits non-zero when the fraction of
+// rejected or failed requests exceeds -max-error-ratio (default 0).
 package main
 
 import (
@@ -56,6 +58,7 @@ func run(args []string) error {
 		rate     = fs.Float64("rate", 0, "with -target: executions per second (0 = unthrottled)")
 		duration = fs.Duration("duration", 0, "with -target: keep cycling the log with fresh instance IDs for this long (0 = one pass)")
 		batch    = fs.Int("batch", 1, "with -target: executions per request")
+		maxErr   = fs.Float64("max-error-ratio", 0, "with -target: exit non-zero when (rejected+failed)/requests exceeds this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,7 +148,7 @@ func run(args []string) error {
 	}
 
 	if *target != "" {
-		return runLoad(*target, log, *rate, *duration, *batch, os.Stdout)
+		return runLoad(*target, log, *rate, *duration, *batch, *maxErr, os.Stdout)
 	}
 
 	out := fs.Arg(0)

@@ -7,7 +7,7 @@
 //	procmine [-algorithm auto|special|dag|cyclic|alpha]
 //	         [-threshold T | -epsilon E] [-output text|layers|dot|bpmn]
 //	         [-lenient | -quarantine] [-timeout D]
-//	         [-conditions] [-check] [-support] [-verbose]
+//	         [-conditions] [-check] [-support] [-verbose] [-trace]
 //	         [-compare REF.adj] [-stats] [-name NAME] LOGFILE
 //
 // The log format is inferred from the file extension (.csv, .json, .xes, a
@@ -31,6 +31,7 @@ import (
 	"procmine/internal/bpmn"
 	"procmine/internal/core"
 	"procmine/internal/graph"
+	"procmine/internal/obs"
 )
 
 // inputError marks failures caused by the input log (unreadable, malformed,
@@ -68,6 +69,7 @@ func run(args []string) error {
 		lenient    = fs.Bool("lenient", false, "skip malformed records and unterminated steps instead of aborting")
 		quarantine = fs.Bool("quarantine", false, "set aside whole executions touched by malformed records instead of aborting")
 		timeout    = fs.Duration("timeout", 0, "abort mining after this duration (e.g. 30s); 0 = no limit")
+		trace      = fs.Bool("trace", false, "print a per-stage wall-time and allocation table for the pipeline to stderr (auto algorithm only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,14 +89,22 @@ func run(args []string) error {
 		ingest.Policy = procmine.Quarantine
 	}
 	path := fs.Arg(0)
+	// tr stays nil without -trace; obs spans on a nil trace are no-ops, so
+	// the untraced path pays nothing.
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace()
+	}
 	var log *procmine.Log
 	var rep *procmine.IngestReport
 	var err error
+	decode := tr.Start("decode")
 	if path == "-" {
 		log, rep, err = procmine.ReadLogWith(os.Stdin, procmine.FormatText, ingest)
 	} else {
 		log, rep, err = procmine.ReadLogFileWith(path, ingest)
 	}
+	decode.End()
 	if err != nil {
 		return inputError{fmt.Errorf("reading %s: %w", path, err)}
 	}
@@ -133,12 +143,20 @@ func run(args []string) error {
 	var g *procmine.Graph
 	switch *algorithm {
 	case "auto":
-		if *verbose {
+		if *verbose || *trace {
 			var diag *core.Diagnostics
-			g, diag, err = core.MineWithDiagnostics(log, opt)
+			g, diag, err = core.MineWithDiagnosticsContext(ctx, log, opt)
 			if err == nil {
-				if derr := diag.WriteReport(os.Stderr); derr != nil {
-					return derr
+				if *verbose {
+					if derr := diag.WriteReport(os.Stderr); derr != nil {
+						return derr
+					}
+				}
+				if *trace {
+					stages := append(tr.Stages(), diag.Stages...)
+					if terr := obs.WriteStageTable(os.Stderr, stages); terr != nil {
+						return terr
+					}
 				}
 			}
 		} else {
@@ -161,6 +179,13 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return fmt.Errorf("mining: %w", err)
+	}
+	if *trace && *algorithm != "auto" {
+		// Non-auto algorithms have no staged pipeline; the table still shows
+		// the decode cost.
+		if terr := obs.WriteStageTable(os.Stderr, tr.Stages()); terr != nil {
+			return terr
+		}
 	}
 
 	st := log.ComputeStats()

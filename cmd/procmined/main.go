@@ -13,8 +13,14 @@
 //	GET  /model?format=dot|json[&shard=N]   mine and render the model
 //	GET  /stats                             per-shard and aggregate health
 //	GET  /healthz                           liveness (503 while draining)
+//	GET  /metrics                           Prometheus text exposition
 //	POST /admin/snapshot                    force a durable checkpoint
 //	POST /admin/drain                       close streams, report totals
+//
+// With -admin-addr set, a second operator-only listener serves
+// /debug/pprof/*, /debug/obs (raw registry dump as JSON), and /metrics.
+// Structured JSON logs go to stderr; stdout carries only the plain
+// readiness and drain lines that supervisors parse.
 //
 // On SIGTERM or SIGINT the server drains gracefully: new work is refused
 // with 503, in-flight requests finish, execution streams are closed under
@@ -30,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"procmine/internal/core"
+	"procmine/internal/obs"
 	"procmine/internal/serve"
 	"procmine/internal/wlog"
 )
@@ -46,6 +54,22 @@ func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "procmined:", err)
 		os.Exit(1)
+	}
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(name string) (slog.Level, error) {
+	switch name {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", name)
 	}
 }
 
@@ -67,6 +91,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("procmined", flag.ContinueOnError)
 	var (
 		listen     = fs.String("listen", "127.0.0.1:9180", "listen address (host:port; port 0 picks a free port)")
+		adminAddr  = fs.String("admin-addr", "", "separate admin listen address for /debug/pprof, /debug/obs, and /metrics (empty = no admin listener)")
+		logLevel   = fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 		shards     = fs.Int("shards", 4, "number of mining shards (process-instance keys hash across them)")
 		policy     = fs.String("policy", "skip", "ingestion recovery policy: failfast, skip, quarantine")
 		maxOpen    = fs.Int("max-open", 0, "per-shard open-execution admission budget; excess batches get 429 (0 = unlimited)")
@@ -92,6 +118,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+
+	// Structured logs go to stderr as JSON; stdout is reserved for the
+	// plain readiness and drain lines that supervisors parse.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	reg := obs.NewRegistry()
 
 	srv, err := serve.New(serve.Config{
 		Shards: *shards,
@@ -109,6 +144,8 @@ func run(args []string, stdout io.Writer) error {
 			TripRatio: *brkRatio,
 			Backoff:   *brkBackoff,
 		},
+		Obs:    reg,
+		Logger: logger,
 	})
 	if err != nil {
 		return err
@@ -124,6 +161,25 @@ func run(args []string, stdout io.Writer) error {
 	// The resolved address line is the readiness contract: supervisors and
 	// the smoke tests wait for it before sending traffic.
 	_, _ = fmt.Fprintf(stdout, "procmined: listening on %s (%d shards, policy %s)\n", ln.Addr(), *shards, *policy)
+	logger.Info("listening", "addr", ln.Addr().String(), "shards", *shards, "policy", *policy)
+
+	// The admin listener exposes pprof, the raw registry dump, and a second
+	// /metrics on an operator-only address, sharing the server's registry.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(stdout, "procmined: admin listening on %s\n", aln.Addr())
+		logger.Info("admin listening", "addr", aln.Addr().String())
+		adminSrv = &http.Server{Handler: obs.NewAdminMux(reg)}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "error", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -143,6 +199,11 @@ func run(args []string, stdout io.Writer) error {
 	drainErr := srv.Shutdown(dctx)
 	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
 		drainErr = err
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(dctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
 	}
 	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) && drainErr == nil {
 		drainErr = serveErr

@@ -83,3 +83,26 @@ func Suppressed(steps []int) []int {
 	}
 	return ids
 }
+
+// Metrics mimics an observability handle: Counter allocates a label slice
+// on every call.
+type Metrics struct{ names []string }
+
+// Counter allocates outside any loop of its own; only hot call sites in
+// loops report.
+func (m *Metrics) Counter(name string) int {
+	m.names = append([]string{}, name)
+	return len(m.names)
+}
+
+// Instrumented shows why metrics stay out of the mining kernels: one
+// counter lookup per step is an allocation per step.
+//
+//procmine:hot
+func Instrumented(m *Metrics, steps []int) int {
+	total := 0
+	for range steps {
+		total += m.Counter("steps") // want "call to \\(a.Metrics\\).Counter allocates, and this call sits in a loop"
+	}
+	return total
+}

@@ -25,6 +25,7 @@ import (
 
 	"procmine/internal/graph"
 	"procmine/internal/noise"
+	"procmine/internal/obs"
 	"procmine/internal/wlog"
 )
 
@@ -125,6 +126,13 @@ const denseAlphabetMax = 2048
 // every downstream consumer (threshold rules, diagnostics, Support) reads
 // one representation regardless of the path taken.
 func scanCounts(l *wlog.Log) pairCounts {
+	return scanCountsTraced(l, nil)
+}
+
+// scanCountsTraced is scanCounts with per-worker stage spans recorded on tr
+// (nil disables tracing at zero cost — the trace plumbing lives entirely in
+// orchestration code, never in the hot kernel).
+func scanCountsTraced(l *wlog.Log, tr *obs.Trace) pairCounts {
 	col := l.Columnar()
 	n := col.Alphabet()
 	if n > denseAlphabetMax {
@@ -136,10 +144,12 @@ func scanCounts(l *wlog.Log) pairCounts {
 	m := col.NumExecutions()
 	var cs *wlog.Counts
 	if w := scanWorkers(m, n); w > 1 {
-		cs = scanShards(col, w)
+		cs = scanShards(col, w, tr)
 	} else {
+		sp := tr.Start("scan/worker0")
 		cs = col.AcquireCounts()
 		followsCounts(col, cs, 0, m)
+		sp.End()
 	}
 	pc := countsToPairs(col, cs)
 	col.ReleaseCounts(cs)
@@ -480,7 +490,7 @@ func FollowsCountsParallel(l *wlog.Log, workers int) map[graph.Edge]int {
 		// maps, exactly as the auto-dispatched path would.
 		return followsCountsMapParallel(l, workers).order
 	}
-	cs := scanShards(col, workers)
+	cs := scanShards(col, workers, nil)
 	pc := countsToPairs(col, cs)
 	col.ReleaseCounts(cs)
 	return pc.order

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -239,5 +240,73 @@ func TestMineWithDiagnosticsThresholdCounts(t *testing.T) {
 	// C->B observed once -> below threshold.
 	if diag.BelowThreshold == 0 {
 		t.Errorf("BelowThreshold = 0; diag = %+v", diag)
+	}
+}
+
+// TestMineWithDiagnosticsCyclicFunnel pins the full diagnostics funnel on a
+// log with every cyclic feature in one place: a rework loop that forces
+// instance labeling (RSR), a genuine 2-cycle (P before Q and Q before P in
+// different executions), and a 3-activity SCC (A→B→C→A) that step 4 must
+// dissolve. Unlike the coarser cyclic test above, this one asserts the
+// exact Labeled / SCCs / IntraSCCRemoved contents end-to-end.
+func TestMineWithDiagnosticsCyclicFunnel(t *testing.T) {
+	l := wlog.LogFromStrings("RSR", "PQ", "QP", "AB", "BC", "CA")
+	g, diag, err := MineWithDiagnostics(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !diag.Labeled {
+		t.Error("log with a repeated activity (RSR) not reported as labeled")
+	}
+	if diag.Executions != 6 || diag.Activities != 8 {
+		t.Errorf("input sizes = %d executions / %d activities, want 6/8 (R#1 R#2 S#1 P#1 Q#1 A#1 B#1 C#1)",
+			diag.Executions, diag.Activities)
+	}
+	if diag.OrderedPairs != 8 {
+		t.Errorf("OrderedPairs = %d, want 8", diag.OrderedPairs)
+	}
+	if diag.BelowThreshold != 0 || diag.OverlapRemoved != 0 {
+		t.Errorf("BelowThreshold/OverlapRemoved = %d/%d, want 0/0", diag.BelowThreshold, diag.OverlapRemoved)
+	}
+	// P#1→Q#1 and Q#1→P#1 cancel each other: both directions count.
+	if diag.TwoCycleRemoved != 2 {
+		t.Errorf("TwoCycleRemoved = %d, want 2 (P#1↔Q#1)", diag.TwoCycleRemoved)
+	}
+
+	// Exactly one independence cluster: the labeled A→B→C→A rotation.
+	if len(diag.SCCs) != 1 {
+		t.Fatalf("SCCs = %v, want exactly one cluster", diag.SCCs)
+	}
+	scc := append([]string(nil), diag.SCCs[0]...)
+	sort.Strings(scc)
+	if want := []string{"A#1", "B#1", "C#1"}; !reflect.DeepEqual(scc, want) {
+		t.Errorf("SCC members = %v, want %v", scc, want)
+	}
+	if diag.IntraSCCRemoved != 3 {
+		t.Errorf("IntraSCCRemoved = %d, want 3 (the A→B→C→A edges)", diag.IntraSCCRemoved)
+	}
+
+	// Marking removes the transitive R#1→R#2; merging folds the labeled
+	// chain back into the R⇄S rework cycle.
+	if diag.UnmarkedRemoved != 1 {
+		t.Errorf("UnmarkedRemoved = %d, want 1 (transitive R#1→R#2)", diag.UnmarkedRemoved)
+	}
+	if diag.FinalEdges != 2 || !g.HasEdge("R", "S") || !g.HasEdge("S", "R") {
+		t.Errorf("final graph = %v (%d edges), want exactly R→S and S→R", edgeStrings(g), diag.FinalEdges)
+	}
+
+	// The tentpole contract: every diagnostics run carries its stage trace.
+	names := make(map[string]bool, len(diag.Stages))
+	for _, st := range diag.Stages {
+		names[st.Name] = true
+		if st.Seconds < 0 {
+			t.Errorf("stage %s has negative duration %v", st.Name, st.Seconds)
+		}
+	}
+	for _, want := range []string{"label", "columnar", "scan", "threshold", "scc", "mark", "reduce"} {
+		if !names[want] {
+			t.Errorf("diagnostics stages missing %q; got %v", want, diag.Stages)
+		}
 	}
 }

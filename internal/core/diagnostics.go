@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"procmine/internal/graph"
+	"procmine/internal/obs"
 	"procmine/internal/wlog"
 )
 
@@ -31,6 +32,10 @@ type Diagnostics struct {
 	// UnmarkedRemoved counts dependency-graph edges no execution needed
 	// (step 6). FinalEdges is the mined graph's edge count.
 	UnmarkedRemoved, FinalEdges int
+	// Stages records wall time and allocation deltas per pipeline stage
+	// (label → columnar → scan, with one sub-span per parallel scan worker,
+	// → threshold → scc → mark → reduce). Render with obs.WriteStageTable.
+	Stages []obs.Stage
 }
 
 // MineWithDiagnostics runs the full pipeline (Algorithm 3 when the log
@@ -48,8 +53,10 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 		return nil, nil, err
 	}
 	diag := &Diagnostics{Executions: l.Len()}
+	tr := obs.NewTrace()
 
 	work := l
+	sp := tr.Start("label")
 	for _, e := range l.Executions {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -69,14 +76,24 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 		}
 		work = labeled
 	}
+	sp.End()
 	diag.Activities = len(work.Activities())
 
+	// Materializing the columnar view here makes its cost its own stage
+	// instead of folding it into the scan's.
+	sp = tr.Start("columnar")
+	work.Columnar()
+	sp.End()
+
+	sp = tr.Start("scan")
 	//lint:ignore procmine/ctxleak scan workers are bounded CPU work; diagnostics mirror the mining pipeline's phase-boundary cancellation
-	pc := scanCounts(work)
+	pc := scanCountsTraced(work, tr)
+	sp.End()
 	diag.OrderedPairs = len(pc.order)
 
 	// Reconstruct the funnel stage by stage, reusing the pair counts
 	// already accumulated above instead of rescanning the log.
+	sp = tr.Start("threshold")
 	g, err := assembleFollowsGraph(work.Activities(), pc, opt)
 	if err != nil {
 		return nil, nil, err
@@ -110,16 +127,20 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 			diag.OverlapRemoved++
 		}
 	}
+	sp.End()
 
+	sp = tr.Start("scc")
 	for _, c := range g.SCCs() {
 		if len(c) > 1 {
 			diag.SCCs = append(diag.SCCs, c)
 		}
 	}
 	diag.IntraSCCRemoved = g.RemoveIntraSCCEdges()
+	sp.End()
 	afterStep4 := g.NumEdges()
 	_ = afterSteps13
 
+	sp = tr.Start("mark")
 	marked, err := markRequired(ctx, g, work.Columnar())
 	if err != nil {
 		return nil, nil, err
@@ -129,12 +150,16 @@ func MineWithDiagnosticsContext(ctx context.Context, l *wlog.Log, opt Options) (
 			g.RemoveEdge(e.From, e.To)
 		}
 	}
+	sp.End()
 	diag.UnmarkedRemoved = afterStep4 - g.NumEdges()
 
+	sp = tr.Start("reduce")
 	if diag.Labeled {
 		g = MergeInstances(g)
 	}
+	sp.End()
 	diag.FinalEdges = g.NumEdges()
+	diag.Stages = tr.Stages()
 	return g, diag, nil
 }
 

@@ -20,8 +20,10 @@ package core
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
+	"procmine/internal/obs"
 	"procmine/internal/wlog"
 )
 
@@ -104,8 +106,10 @@ func ScanWorkersUsed(l *wlog.Log, workers int) int {
 // ranges on workers goroutines, each into a private pooled accumulator, and
 // merges the shards by integer addition into the first one, which the
 // caller owns (and must release). Callers guarantee workers >= 2 and an
-// alphabet within parallelDenseAlphabetMax.
-func scanShards(col *wlog.Columnar, workers int) *wlog.Counts {
+// alphabet within parallelDenseAlphabetMax. A non-nil tr records one
+// "scan/workerN" span per goroutine — the span bookkeeping lives in the
+// worker closure, which is orchestration code, not the hot kernel itself.
+func scanShards(col *wlog.Columnar, workers int, tr *obs.Trace) *wlog.Counts {
 	bounds := shardBounds(col.NumExecutions(), workers)
 	shards := make([]*wlog.Counts, len(bounds)-1)
 	var wg sync.WaitGroup
@@ -114,7 +118,9 @@ func scanShards(col *wlog.Columnar, workers int) *wlog.Counts {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sp := tr.Start("scan/worker" + strconv.Itoa(w))
 			followsCounts(col, shards[w], bounds[w], bounds[w+1])
+			sp.End()
 		}(w)
 	}
 	wg.Wait()

@@ -55,7 +55,7 @@ func overlapLog(m int) *wlog.Log {
 // converts the merged matrices, mirroring the production parallel path.
 func parallelCounts(l *wlog.Log, workers int) pairCounts {
 	col := l.Columnar()
-	cs := scanShards(col, workers)
+	cs := scanShards(col, workers, nil)
 	pc := countsToPairs(col, cs)
 	col.ReleaseCounts(cs)
 	return pc

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"procmine/internal/graph"
+	"procmine/internal/obs"
 )
 
 // Miner state export/import. The always-on serving layer (internal/serve)
@@ -186,6 +187,13 @@ func DecodeMinerSnapshot(r io.Reader) (*MinerSnapshot, error) {
 // followings-graph assembly and before each signature set's reduction in
 // the marking pass, so a mine under a request deadline returns promptly.
 func (im *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*graph.Digraph, error) {
+	return im.MineTracedContext(ctx, opt, nil)
+}
+
+// MineTracedContext is MineContext with per-stage spans (assemble → scc →
+// mark → merge) recorded on tr; a nil trace is free. The service's /model
+// path uses it to feed the mine_stage_seconds histograms.
+func (im *IncrementalMiner) MineTracedContext(ctx context.Context, opt Options, tr *obs.Trace) (*graph.Digraph, error) {
 	im.init()
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -193,6 +201,7 @@ func (im *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*grap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := tr.Start("assemble")
 	acts := make([]string, 0, len(im.activities))
 	for a := range im.activities {
 		acts = append(acts, a)
@@ -203,10 +212,14 @@ func (im *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*grap
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = tr.Start("scc")
 	g.RemoveIntraSCCEdges()
+	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = tr.Start("mark")
 	sr, err := graph.NewSubsetReducer(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: incremental marking: %w", err)
@@ -236,5 +249,9 @@ func (im *IncrementalMiner) MineContext(ctx context.Context, opt Options) (*grap
 			g.RemoveEdge(e.From, e.To)
 		}
 	}
-	return MergeInstances(g), nil
+	sp.End()
+	sp = tr.Start("merge")
+	g = MergeInstances(g)
+	sp.End()
+	return g, nil
 }

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// debugObsHandler serves the registry dump as JSON (the human-browsable
+// twin of /metrics).
+type debugObsHandler struct {
+	reg *Registry
+}
+
+func (h *debugObsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Dump() is already deterministically sorted; encode errors past the
+	// header are client disconnects.
+	_ = enc.Encode(h.reg.Dump())
+}
+
+// NewAdminMux builds the debug/admin mux served on procmined's
+// -admin-addr listener: pprof, the registry dump, and a second /metrics
+// mount. It is deliberately a separate mux so profiling and debug
+// internals are never reachable on the ingest port.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/obs", &debugObsHandler{reg: reg})
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	return mux
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// okHandler is a named handler type so tests mirror production wiring
+// (interface methods, not bare func values).
+type okHandler struct {
+	status int
+	body   string
+}
+
+func (h *okHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Drain the body so request-byte accounting has something to count.
+	_, _ = io.Copy(io.Discard, r.Body)
+	if h.status != http.StatusOK {
+		w.WriteHeader(h.status)
+	}
+	_, _ = io.WriteString(w, h.body)
+}
+
+func TestMiddlewareRecordsByRouteAndClass(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	m := NewHTTPMetrics(reg, "testsvc", logger)
+
+	ok := m.Wrap("/ok", &okHandler{status: http.StatusOK, body: "hello"})
+	throttled := m.Wrap("/busy", &okHandler{status: http.StatusTooManyRequests, body: "slow down"})
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok.ServeHTTP(rec, httptest.NewRequest("POST", "/ok", strings.NewReader("payload")))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	throttled.ServeHTTP(rec, httptest.NewRequest("GET", "/busy", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	lat2xx := reg.Histogram("testsvc_http_request_seconds", "", LatencyBuckets(), L("route", "/ok"), L("class", "2xx"))
+	if got := lat2xx.Count(); got != 3 {
+		t.Errorf("2xx latency count = %d, want 3", got)
+	}
+	lat4xx := reg.Histogram("testsvc_http_request_seconds", "", LatencyBuckets(), L("route", "/busy"), L("class", "4xx"))
+	if got := lat4xx.Count(); got != 1 {
+		t.Errorf("4xx latency count = %d, want 1", got)
+	}
+	req2xx := reg.Histogram("testsvc_http_request_bytes", "", SizeBuckets(), L("route", "/ok"), L("class", "2xx"))
+	if got := req2xx.Sum(); got != float64(3*len("payload")) {
+		t.Errorf("request bytes sum = %v, want %d", got, 3*len("payload"))
+	}
+	rsp2xx := reg.Histogram("testsvc_http_response_bytes", "", SizeBuckets(), L("route", "/ok"), L("class", "2xx"))
+	if got := rsp2xx.Sum(); got != float64(3*len("hello")) {
+		t.Errorf("response bytes sum = %v, want %d", got, 3*len("hello"))
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"route":"/ok"`) || !strings.Contains(logs, `"status":429`) {
+		t.Errorf("request logs missing expected fields:\n%s", logs)
+	}
+}
+
+func TestClassIndexClamps(t *testing.T) {
+	cases := map[int]int{200: 1, 404: 3, 599: 4, 99: 4, 700: 4, 0: 4}
+	for status, want := range cases {
+		if got := classIndex(status); got != want {
+			t.Errorf("classIndex(%d) = %d, want %d", status, got, want)
+		}
+	}
+}
+
+func TestMetricsHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "Up.").Inc()
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ExpositionContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ExpositionContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("exposition missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("seen_total", "Seen.", L("shard", "0")).Add(2)
+	mux := NewAdminMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `seen_total{shard="0"} 2`) {
+		t.Errorf("/metrics: code %d body:\n%s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/obs: code %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/obs Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"seen_total"`) {
+		t.Errorf("/debug/obs missing family:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/: code %d", rec.Code)
+	}
+}

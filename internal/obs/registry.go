@@ -1,0 +1,398 @@
+// Package obs is the stdlib-only observability layer: a metrics registry
+// (atomic counters, gauges, and fixed-bucket histograms with Prometheus
+// text exposition), a lightweight stage-span API for tracing the mining
+// pipeline, HTTP server instrumentation, and the admin/debug mux that
+// exposes pprof and the registry dump.
+//
+// The design constraints mirror the repo's own vet suite:
+//
+//   - No package-level mutable state (noglobals): a Registry is built with
+//     NewRegistry and injected wherever instrumentation lives, so two
+//     servers in one process never share a metric by accident.
+//   - Nothing reachable from a //procmine:hot kernel touches metrics
+//     (hotalloc): instrumentation belongs at the orchestration layer —
+//     request handlers, shard ingest, stage boundaries — never inside the
+//     alloc-free scan and marking loops. Series handles are resolved once,
+//     up front, and the per-event operations (Counter.Add, Gauge.Set,
+//     Histogram.Observe) are single atomic instructions, but even those are
+//     off-limits inside hot kernels.
+//   - Exposition is deterministic (mapiterorder): families and series are
+//     emitted in sorted order, byte-identical for identical registry state.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" pair qualifying a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label; it keeps call sites short.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind is the exposition type of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// Counter is a monotonically increasing series. Increments are lock-free
+// atomic adds; the registry lock is taken only when the series is first
+// resolved.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates onto the gauge via CAS.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free: one
+// atomic increment for the bucket, one for the count, and a CAS loop for
+// the float64 sum.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// LatencyBuckets returns the default duration buckets in seconds: 100µs to
+// ~40s in 4× steps, a range that covers both the sub-millisecond ingest
+// path and a worst-case mine under load.
+func LatencyBuckets() []float64 {
+	return []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144}
+}
+
+// SizeBuckets returns the default byte-size buckets: 256 B to 16 MiB in 4×
+// steps, covering request bodies from a single event to a bulk snapshot.
+func SizeBuckets() []float64 {
+	return []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label // sorted by key
+	key    string  // canonical rendering of labels, the sort key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64 // histograms only
+	series     map[string]*series
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; construct with NewRegistry and inject it (never store one in a
+// package-level variable).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// labelKey canonicalizes a label set: sorted by key, rendered once. The
+// rendered form doubles as the exposition order.
+func labelKey(labels []Label) (sorted []Label, key string) {
+	sorted = append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	if len(sorted) == 0 {
+		return sorted, ""
+	}
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return sorted, b.String()
+}
+
+// lookup returns the family, creating it on first use and rejecting
+// kind/bucket redefinition: two call sites disagreeing about what a name
+// means is a programming error worth failing loudly on.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, buckets: append([]float64(nil), buckets...), series: map[string]*series{}}
+		r.fams[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	sorted, key := labelKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: sorted, key: key}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter series for name with the given labels,
+// creating family and series on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge series for name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram series for name with the given labels.
+// The bucket bounds are fixed by the first registration of the name;
+// subsequent calls reuse them.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.lookup(name, help, kindHistogram, buckets, labels).h
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value; integral floats print without an
+// exponent so counters read naturally.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleLine writes one `name{labels} value` line. extra holds labels
+// appended after the series labels (the histogram `le`).
+func sampleLine(w io.Writer, name, seriesKey string, extra []Label, value string) error {
+	var b strings.Builder
+	b.WriteString(name)
+	if seriesKey != "" || len(extra) > 0 {
+		b.WriteByte('{')
+		b.WriteString(seriesKey)
+		for i, l := range extra {
+			if i > 0 || seriesKey != "" {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ExpositionContentType is the Content-Type of the Prometheus text format
+// WritePrometheus emits.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, deterministically: families sorted by name, series sorted by
+// their canonical label rendering, histogram buckets cumulative and
+// terminated by le="+Inf".
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sorted() {
+			switch f.kind {
+			case kindCounter:
+				if err := sampleLine(w, f.name, s.key, nil, strconv.FormatInt(s.c.Value(), 10)); err != nil {
+					return err
+				}
+			case kindGauge:
+				if err := sampleLine(w, f.name, s.key, nil, formatFloat(s.g.Value())); err != nil {
+					return err
+				}
+			case kindHistogram:
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := []Label{L("le", formatFloat(bound))}
+					if err := sampleLine(w, f.name+"_bucket", s.key, le, strconv.FormatInt(cum, 10)); err != nil {
+						return err
+					}
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				if err := sampleLine(w, f.name+"_bucket", s.key, []Label{L("le", "+Inf")}, strconv.FormatInt(cum, 10)); err != nil {
+					return err
+				}
+				if err := sampleLine(w, f.name+"_sum", s.key, nil, formatFloat(s.h.Sum())); err != nil {
+					return err
+				}
+				if err := sampleLine(w, f.name+"_count", s.key, nil, strconv.FormatInt(s.h.Count(), 10)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotFamilies copies the family list under the registry lock, sorted
+// by name. The per-series values are read later via atomics, so exposition
+// never holds the lock across I/O.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sorted returns the family's series ordered by canonical label key.
+// Creating series while exposition runs is safe: the map is copied under
+// the registry lock by the caller holding no lock here — series maps are
+// only mutated under Registry.mu, so take it for the copy.
+func (f *family) sorted() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// DumpSeries is one series row of a registry dump (the /debug/obs view).
+type DumpSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+}
+
+// DumpFamily is one metric family of a registry dump.
+type DumpFamily struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Help   string       `json:"help"`
+	Series []DumpSeries `json:"series"`
+}
+
+// Dump projects the registry into a JSON-friendly structure, sorted the
+// same way as the exposition.
+func (r *Registry) Dump() []DumpFamily {
+	fams := r.snapshotFamilies()
+	out := make([]DumpFamily, 0, len(fams))
+	for _, f := range fams {
+		df := DumpFamily{Name: f.name, Kind: string(f.kind), Help: f.help}
+		for _, s := range f.sorted() {
+			ds := DumpSeries{}
+			if len(s.labels) > 0 {
+				ds.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ds.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				ds.Value = float64(s.c.Value())
+			case kindGauge:
+				ds.Value = s.g.Value()
+			case kindHistogram:
+				ds.Count = s.h.Count()
+				ds.Sum = s.h.Sum()
+			}
+			df.Series = append(df.Series, ds)
+		}
+		out = append(out, df)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramSemantics(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("jobs_total", "Jobs.", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("jobs_total", "Jobs.", L("kind", "a")); again != c {
+		t.Error("same name+labels did not return the same counter")
+	}
+	if other := r.Counter("jobs_total", "Jobs.", L("kind", "b")); other == c {
+		t.Error("different labels returned the same counter")
+	}
+
+	g := r.Gauge("depth", "Depth.")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("histogram count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 56.05", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestBucketPresetsAreSortedAndFresh(t *testing.T) {
+	for name, f := range map[string]func() []float64{"latency": LatencyBuckets, "size": SizeBuckets} {
+		a, b := f(), f()
+		if !sort.Float64sAreSorted(a) {
+			t.Errorf("%s buckets not sorted: %v", name, a)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s buckets empty", name)
+		}
+		a[0] = -1
+		if b[0] == -1 {
+			t.Errorf("%s buckets share backing storage across calls", name)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "N.")
+	h := r.Histogram("v", "V.", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in deliberately unsorted order.
+	r.Counter("z_total", "Z.", L("b", "2"))
+	r.Counter("z_total", "Z.", L("a", "1"))
+	r.Gauge("a_gauge", "A.")
+	r.Histogram("m_seconds", "M.", []float64{1, 2}).Observe(1.5)
+
+	var first, second bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("two expositions of identical state differ")
+	}
+	// Families must appear in sorted name order.
+	var order []int
+	for _, name := range []string{"a_gauge", "m_seconds", "z_total"} {
+		order = append(order, strings.Index(first.String(), "# HELP "+name))
+	}
+	if !sort.IntsAreSorted(order) || order[0] < 0 {
+		t.Errorf("families out of order in exposition:\n%s", first.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "E.", L("path", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `e_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing escaped sample %q:\n%s", want, buf.String())
+	}
+}
+
+// expositionLine matches a sample line: name, optional label block, value.
+func expositionLineRE() *regexp.Regexp {
+	return regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+Inf]+)$`)
+}
+
+// parseExposition is a strict checker for the Prometheus text format 0.0.4
+// subset the registry emits. It verifies line grammar, HELP/TYPE pairing,
+// that every sample belongs to the most recent family, and histogram
+// invariants (cumulative buckets, +Inf terminal, count == +Inf bucket).
+func parseExposition(t *testing.T, text string) (families map[string]string, samples int) {
+	t.Helper()
+	families = map[string]string{}
+	lineRE := expositionLineRE()
+	var curName, curKind string
+	var lastBucket float64
+	var lastCum int64
+	bucketSeen := map[string]bool{} // series key -> saw +Inf
+	infCount := map[string]int64{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: duplicate family %q", ln+1, name)
+			}
+			curName, curKind = name, ""
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || fields[0] != curName {
+				t.Fatalf("line %d: TYPE does not follow its HELP: %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, fields[1])
+			}
+			curKind = fields[1]
+			families[curName] = curKind
+			lastBucket, lastCum = math.Inf(-1), 0
+		default:
+			m := lineRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			name, labelBlock, valStr := m[1], m[2], m[3]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if curKind == "histogram" {
+				if base != curName && name != curName {
+					t.Fatalf("line %d: sample %q outside family %q", ln+1, name, curName)
+				}
+			} else if name != curName {
+				t.Fatalf("line %d: sample %q outside family %q", ln+1, name, curName)
+			}
+			if curKind == "histogram" && strings.HasSuffix(name, "_bucket") {
+				leRE := regexp.MustCompile(`,?le="([^"]+)"`)
+				lm := leRE.FindStringSubmatch(labelBlock)
+				if lm == nil {
+					t.Fatalf("line %d: histogram bucket without le label: %q", ln+1, line)
+				}
+				cum, err := strconv.ParseInt(valStr, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: non-integer bucket count %q", ln+1, valStr)
+				}
+				// The series key is the label block minus le; a labelless
+				// histogram leaves "{}", which matches an absent block.
+				seriesKey := leRE.ReplaceAllString(labelBlock, "")
+				if seriesKey == "{}" {
+					seriesKey = ""
+				}
+				if lm[1] == "+Inf" {
+					bucketSeen[curName+seriesKey] = true
+					infCount[curName+seriesKey] = cum
+					lastBucket, lastCum = math.Inf(-1), 0
+				} else {
+					bound, err := strconv.ParseFloat(lm[1], 64)
+					if err != nil {
+						t.Fatalf("line %d: bad le bound %q", ln+1, lm[1])
+					}
+					if bound <= lastBucket {
+						t.Fatalf("line %d: bucket bounds not increasing (%v after %v)", ln+1, bound, lastBucket)
+					}
+					if cum < lastCum {
+						t.Fatalf("line %d: bucket counts not cumulative (%d after %d)", ln+1, cum, lastCum)
+					}
+					lastBucket, lastCum = bound, cum
+				}
+			}
+			if curKind == "histogram" && strings.HasSuffix(name, "_count") {
+				cnt, err := strconv.ParseInt(valStr, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: non-integer count %q", ln+1, valStr)
+				}
+				key := curName + labelBlock
+				if !bucketSeen[key] {
+					t.Fatalf("line %d: %s_count with no preceding +Inf bucket", ln+1, curName)
+				}
+				if cnt != infCount[key] {
+					t.Fatalf("line %d: count %d != +Inf bucket %d", ln+1, cnt, infCount[key])
+				}
+			}
+			samples++
+		}
+	}
+	return families, samples
+}
+
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	for shard := 0; shard < 3; shard++ {
+		c := r.Counter("procmined_ingest_records_total", "Records.", L("shard", fmt.Sprint(shard)))
+		c.Add(int64(10 * (shard + 1)))
+	}
+	r.Gauge("procmined_breaker_open", "Open breakers.").Set(1)
+	h := r.Histogram("procmined_mine_stage_seconds", "Stage time.", LatencyBuckets(), L("stage", "scan"))
+	h.Observe(0.002)
+	h.Observe(3.7)
+	r.Histogram("procmined_http_request_bytes", "Sizes.", SizeBuckets(), L("route", "/ingest"), L("class", "2xx")).Observe(512)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, samples := parseExposition(t, buf.String())
+	if len(families) != 4 {
+		t.Errorf("parsed %d families, want 4: %v", len(families), families)
+	}
+	if families["procmined_mine_stage_seconds"] != "histogram" {
+		t.Errorf("mine_stage_seconds kind = %q, want histogram", families["procmined_mine_stage_seconds"])
+	}
+	if samples == 0 {
+		t.Error("no samples parsed")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.", L("k", "v")).Add(7)
+	r.Histogram("b_seconds", "B.", []float64{1}).Observe(0.5)
+	d := r.Dump()
+	if len(d) != 2 {
+		t.Fatalf("dump has %d families, want 2", len(d))
+	}
+	if d[0].Name != "a_total" || d[0].Series[0].Value != 7 || d[0].Series[0].Labels["k"] != "v" {
+		t.Errorf("counter dump wrong: %+v", d[0])
+	}
+	if d[1].Name != "b_seconds" || d[1].Series[0].Count != 1 || d[1].Series[0].Sum != 0.5 {
+		t.Errorf("histogram dump wrong: %+v", d[1])
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Stage is one completed span of a pipeline trace: how long a named stage
+// ran and what it allocated. Alloc figures come from runtime.MemStats
+// deltas, so they are process-global approximations — accurate when the
+// stage dominates the process (the CLI and the service's mine path), noisy
+// when unrelated goroutines allocate concurrently.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Allocs  uint64  `json:"allocs"`
+	Bytes   uint64  `json:"bytes"`
+}
+
+// Trace collects Stages from a single pipeline run. A nil *Trace is a
+// valid no-op: every method, including Start and the returned span's End,
+// is safe to call on nil, so instrumented code never branches on whether
+// tracing is enabled. Concurrent Start/End calls (per-worker scan spans)
+// are serialized by an internal mutex at End only — the measurement window
+// itself is lock-free.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is one in-flight measurement started by Trace.Start.
+type Span struct {
+	tr        *Trace
+	name      string
+	start     time.Time
+	mallocsAt uint64
+	bytesAt   uint64
+}
+
+// memCounts reads the cumulative process allocation counters. ReadMemStats
+// briefly stops the world; traces wrap coarse pipeline stages, not inner
+// loops, so the cost is negligible relative to the stage.
+func memCounts() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+// Start opens a span for the named stage. On a nil trace it returns nil,
+// and End on a nil span is a no-op.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	m, b := memCounts()
+	return &Span{tr: t, name: name, start: time.Now(), mallocsAt: m, bytesAt: b}
+}
+
+// End closes the span and records its Stage on the parent trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	elapsed := time.Since(s.start).Seconds()
+	m, b := memCounts()
+	st := Stage{Name: s.name, Seconds: elapsed}
+	if m > s.mallocsAt {
+		st.Allocs = m - s.mallocsAt
+	}
+	if b > s.bytesAt {
+		st.Bytes = b - s.bytesAt
+	}
+	s.tr.mu.Lock()
+	s.tr.stages = append(s.tr.stages, st)
+	s.tr.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in completion order. Nil
+// traces return nil.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// WriteStageTable renders stages as an aligned table (the `-trace` output
+// of cmd/procmine). It accepts the slice rather than a *Trace so callers
+// can render stages recovered from Diagnostics.
+func WriteStageTable(w io.Writer, stages []Stage) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, "STAGE\tSECONDS\tALLOCS\tBYTES"); err != nil {
+		return err
+	}
+	var totalSec float64
+	var totalAllocs, totalBytes uint64
+	for _, s := range stages {
+		totalSec += s.Seconds
+		totalAllocs += s.Allocs
+		totalBytes += s.Bytes
+		if _, err := fmt.Fprintf(tw, "%s\t%.6f\t%d\t%d\n", s.Name, s.Seconds, s.Allocs, s.Bytes); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(tw, "total\t%.6f\t%d\t%d\n", totalSec, totalAllocs, totalBytes); err != nil {
+		return err
+	}
+	return tw.Flush()
+}

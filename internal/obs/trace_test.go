@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("anything")
+	if sp != nil {
+		t.Fatal("nil trace returned a non-nil span")
+	}
+	sp.End() // must not panic
+	if got := tr.Stages(); got != nil {
+		t.Errorf("nil trace stages = %v, want nil", got)
+	}
+}
+
+func TestTraceRecordsStages(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Start("decode")
+	// strings.Repeat allocates its result on the heap, so the span's
+	// MemStats delta must see at least this many bytes.
+	sink := strings.Repeat("x", 1<<16)
+	if len(sink) != 1<<16 {
+		t.Fatal("unexpected repeat length")
+	}
+	s.End()
+	tr.Start("scan").End()
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	if stages[0].Name != "decode" || stages[1].Name != "scan" {
+		t.Errorf("stage order = %q,%q, want decode,scan", stages[0].Name, stages[1].Name)
+	}
+	if stages[0].Seconds < 0 {
+		t.Errorf("negative duration %v", stages[0].Seconds)
+	}
+	if stages[0].Bytes < 1<<16 {
+		t.Errorf("decode stage recorded %d bytes, want >= %d", stages[0].Bytes, 1<<16)
+	}
+	// Stages returns a copy.
+	stages[0].Name = "mutated"
+	if tr.Stages()[0].Name != "decode" {
+		t.Error("Stages exposed internal storage")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Start("worker").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Stages()); got != 200 {
+		t.Errorf("recorded %d spans, want 200", got)
+	}
+}
+
+func TestWriteStageTable(t *testing.T) {
+	stages := []Stage{
+		{Name: "decode", Seconds: 0.25, Allocs: 10, Bytes: 2048},
+		{Name: "scan", Seconds: 0.5, Allocs: 2, Bytes: 64},
+	}
+	var buf bytes.Buffer
+	if err := WriteStageTable(&buf, stages); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"STAGE", "decode", "scan", "total", "0.750000", "2112"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

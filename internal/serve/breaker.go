@@ -72,10 +72,20 @@ const (
 	breakerHalfOpen = "half-open" // probing: configured policy on probation
 )
 
+// breakerWatcher observes breaker state transitions. It is an interface
+// (implemented by breakerEvents in metrics.go) rather than a callback
+// field so every call in this package stays resolvable in the static call
+// graph. Implementations are invoked with the owning shard's mutex held
+// and must not block.
+type breakerWatcher interface {
+	breakerTransition(from, to string)
+}
+
 // breaker is one shard's circuit breaker.
 type breaker struct {
 	cfg     BreakerConfig
 	enabled bool
+	watch   breakerWatcher // may be nil
 	state   string
 	good    int // window tallies
 	bad     int
@@ -85,10 +95,20 @@ type breaker struct {
 }
 
 // newBreaker returns a closed breaker; a zero-window config disables it.
-func newBreaker(cfg BreakerConfig) *breaker {
+// watch, when non-nil, is notified of every state transition.
+func newBreaker(cfg BreakerConfig, watch breakerWatcher) *breaker {
 	enabled := cfg.Window > 0
 	cfg = cfg.withDefaults()
-	return &breaker{cfg: cfg, enabled: enabled, state: breakerClosed, backoff: cfg.Backoff}
+	return &breaker{cfg: cfg, enabled: enabled, watch: watch, state: breakerClosed, backoff: cfg.Backoff}
+}
+
+// transition moves the breaker to a new state, notifying the watcher.
+func (b *breaker) transition(to string) {
+	from := b.state
+	b.state = to
+	if b.watch != nil && from != to {
+		b.watch.breakerTransition(from, to)
+	}
 }
 
 // degraded reports whether the shard must run in Skip mode right now, and
@@ -98,7 +118,7 @@ func (b *breaker) degraded(now time.Time) bool {
 		return false
 	}
 	if b.state == breakerOpen && !now.Before(b.until) {
-		b.state = breakerHalfOpen
+		b.transition(breakerHalfOpen)
 		b.good, b.bad = 0, 0
 	}
 	return b.state == breakerOpen
@@ -124,7 +144,7 @@ func (b *breaker) observe(records, bad int, now time.Time) {
 		}
 		if b.state == breakerHalfOpen && total >= b.cfg.MinSamples && b.bad == 0 {
 			// Clean probation: close and forgive the backoff escalation.
-			b.state = breakerClosed
+			b.transition(breakerClosed)
 			b.backoff = b.cfg.Backoff
 			b.good, b.bad = 0, 0
 			return
@@ -138,7 +158,7 @@ func (b *breaker) observe(records, bad int, now time.Time) {
 
 // trip opens the breaker and doubles the next backoff.
 func (b *breaker) trip(now time.Time) {
-	b.state = breakerOpen
+	b.transition(breakerOpen)
 	b.until = now.Add(b.backoff)
 	b.trips++
 	b.good, b.bad = 0, 0

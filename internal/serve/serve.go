@@ -24,11 +24,14 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"procmine/internal/core"
+	"procmine/internal/obs"
 	"procmine/internal/wlog"
 )
 
@@ -70,6 +73,15 @@ type Config struct {
 
 	// Clock overrides the system time source for tests.
 	Clock Clock
+
+	// Obs is the metrics registry the server exports on GET /metrics. nil
+	// gets a private registry, so metrics always work; inject one to share
+	// the registry with an admin listener (cmd/procmined does).
+	Obs *obs.Registry
+
+	// Logger receives structured request and lifecycle logs. nil discards
+	// them.
+	Logger *slog.Logger
 }
 
 // Clock is the server's time source. It is an interface rather than a bare
@@ -105,6 +117,9 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	clock  Clock
+	reg    *obs.Registry
+	met    *serveMetrics
+	log    *slog.Logger
 	shards []*shard
 	snaps  *snapshotter
 	mux    *http.ServeMux
@@ -122,18 +137,31 @@ type Server struct {
 // state.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	snaps, err := newSnapshotter(cfg.SnapshotDir)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newServeMetrics(reg, cfg.Shards, logger)
+	snaps, err := newSnapshotter(cfg.SnapshotDir, met, logger, cfg.clock())
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:   cfg,
 		clock: cfg.clock(),
+		reg:   reg,
+		met:   met,
+		log:   logger,
 		snaps: snaps,
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = newShard(i, cfg)
+		sm := &met.shards[i]
+		s.shards[i] = newShard(i, cfg, sm, &breakerEvents{shard: i, met: sm, log: logger})
 		snap, err := snaps.load(i, cfg.Shards)
 		if err != nil {
 			return nil, err
@@ -150,6 +178,10 @@ func New(cfg Config) (*Server, error) {
 	s.routes()
 	return s, nil
 }
+
+// Registry exposes the server's metrics registry, so the caller can mount
+// the same registry on an admin listener (see obs.NewAdminMux).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Restored reports how many shards were restored from checkpoints at
 // startup.
@@ -240,6 +272,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("shutdown started, draining in-flight requests")
 
 	for {
 		s.mu.Lock()
@@ -259,8 +292,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// expired: aborting the fsync mid-shutdown would lose shard state that
 	// the whole snapshot subsystem exists to preserve.
 	//lint:ignore procmine/ctxleak shutdown checkpoint is deliberately not cancellable
-	_, err := s.snapshotAll()
-	return err
+	n, err := s.snapshotAll()
+	if err != nil {
+		s.log.Error("shutdown checkpoint failed", "error", err)
+		return err
+	}
+	s.log.Info("shutdown complete", "shards_checkpointed", n)
+	return nil
 }
 
 // ServeHTTP dispatches to the registered routes.

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"procmine/internal/core"
+	"procmine/internal/obs"
 	"procmine/internal/wlog"
 )
 
@@ -392,5 +394,135 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.Aggregate.EventsDecoded != st.Intake.EventsDecoded || st.Intake.EventsDecoded == 0 {
 		t.Fatalf("aggregate/intake decode counts inconsistent: %+v", st)
+	}
+}
+
+// TestResponseContentTypes pins the Content-Type of every response shape
+// the server produces: JSON bodies (success and error), the DOT model, and
+// the Prometheus exposition.
+func TestResponseContentTypes(t *testing.T) {
+	s, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestText(t, s, textOf(t, serveLog(4)), http.StatusOK)
+
+	cases := []struct {
+		method, target, want string
+		status               int
+	}{
+		{http.MethodPost, "/ingest?format=text", "application/json", http.StatusOK},
+		{http.MethodGet, "/stats", "application/json", http.StatusOK},
+		{http.MethodGet, "/healthz", "application/json", http.StatusOK},
+		{http.MethodGet, "/model?format=dot", "text/vnd.graphviz", http.StatusOK},
+		{http.MethodGet, "/model?format=json", "application/json", http.StatusOK},
+		{http.MethodGet, "/model?format=bogus", "application/json", http.StatusBadRequest},
+		{http.MethodGet, "/model?shard=99", "application/json", http.StatusBadRequest},
+		{http.MethodGet, "/metrics", obs.ExpositionContentType, http.StatusOK},
+		{http.MethodPost, "/admin/snapshot", "application/json", http.StatusOK},
+		{http.MethodPost, "/admin/drain", "application/json", http.StatusOK},
+	}
+	for _, c := range cases {
+		body := ""
+		if c.method == http.MethodPost && strings.HasPrefix(c.target, "/ingest") {
+			body = textOf(t, serveLog(2))
+		}
+		rec := do(t, s, c.method, c.target, "", body)
+		if rec.Code != c.status {
+			t.Errorf("%s %s = %d, want %d: %s", c.method, c.target, rec.Code, c.status, rec.Body.String())
+			continue
+		}
+		if got := rec.Header().Get("Content-Type"); got != c.want {
+			t.Errorf("%s %s Content-Type = %q, want %q", c.method, c.target, got, c.want)
+		}
+	}
+}
+
+// metricSum sums the values of every exposition series line whose
+// name-plus-labels rendering starts with prefix.
+func metricSum(t *testing.T, exposition, prefix string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("parsing series line %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestMetricsEndpoint drives ingest, a model mine, and a snapshot through
+// the server and checks the exposition reflects all of it: per-shard ingest
+// counters, mine-stage timings, snapshot histograms, HTTP middleware
+// series, and the always-present breaker family.
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := New(Config{Shards: 2, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestText(t, s, textOf(t, serveLog(8)), http.StatusOK)
+	modelDot(t, s)
+	if rec := do(t, s, http.MethodPost, "/admin/snapshot", "", ""); rec.Code != http.StatusOK {
+		t.Fatalf("POST /admin/snapshot = %d", rec.Code)
+	}
+
+	rec := do(t, s, http.MethodGet, "/metrics", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	exp := rec.Body.String()
+
+	if got := metricSum(t, exp, "procmined_ingest_records_total"); got == 0 {
+		t.Errorf("ingest_records_total sum = 0 after ingest")
+	}
+	if got := metricSum(t, exp, "procmined_ingest_executions_total"); got != 8 {
+		t.Errorf("ingest_executions_total sum = %v, want 8", got)
+	}
+	// Both shards saw traffic (8 executions hash across 2 shards).
+	for _, shard := range []string{"0", "1"} {
+		series := `procmined_ingest_records_total{shard="` + shard + `"}`
+		if !strings.Contains(exp, series) {
+			t.Errorf("exposition missing per-shard series %s", series)
+		}
+	}
+	if got := metricSum(t, exp, "procmined_mine_stage_seconds_count"); got == 0 {
+		t.Errorf("mine_stage_seconds observed nothing after GET /model")
+	}
+	if got := metricSum(t, exp, "procmined_snapshot_save_seconds_count"); got != 2 {
+		t.Errorf("snapshot_save_seconds count = %v, want 2 (one save per shard)", got)
+	}
+	if got := metricSum(t, exp, "procmined_snapshot_save_bytes_sum"); got == 0 {
+		t.Errorf("snapshot_save_bytes recorded zero bytes")
+	}
+	if got := metricSum(t, exp, `procmined_http_request_seconds_count{class="2xx",route="/ingest"}`); got == 0 {
+		t.Errorf("http middleware recorded no 2xx /ingest requests")
+	}
+	for _, family := range []string{
+		"procmined_breaker_transitions_total",
+		"procmined_decode_records_total",
+		"procmined_ingest_rejected_total",
+	} {
+		if !strings.Contains(exp, "# TYPE "+family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+
+	// A restart over the same snapshot dir records restore timings.
+	s2, err := New(Config{Shards: 2, SnapshotDir: s.cfg.SnapshotDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, s2, http.MethodGet, "/metrics", "", "")
+	if got := metricSum(t, rec.Body.String(), "procmined_snapshot_restore_seconds_count"); got != 2 {
+		t.Errorf("snapshot_restore_seconds count after restart = %v, want 2", got)
 	}
 }

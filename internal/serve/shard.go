@@ -24,6 +24,7 @@ type shard struct {
 	id    int
 	opts  wlog.IngestOptions // configured (non-degraded) ingestion options
 	clock Clock
+	met   *shardMetrics // pre-resolved series; increments are atomic ops
 
 	mu        sync.Mutex
 	miner     *core.IncrementalMiner
@@ -35,15 +36,17 @@ type shard struct {
 	drained   bool
 }
 
-// newShard builds an empty shard.
-func newShard(id int, cfg Config) *shard {
+// newShard builds an empty shard. met carries the shard's pre-resolved
+// metric series and watch observes its breaker transitions.
+func newShard(id int, cfg Config, met *shardMetrics, watch breakerWatcher) *shard {
 	sh := &shard{
 		id:      id,
 		opts:    cfg.Ingest,
 		clock:   cfg.clock(),
+		met:     met,
 		miner:   core.NewIncrementalMiner(),
 		rep:     wlog.NewIngestReport(cfg.Ingest),
-		brk:     newBreaker(cfg.Breaker),
+		brk:     newBreaker(cfg.Breaker, watch),
 		maxOpen: cfg.MaxOpenPerShard,
 	}
 	sh.stream = wlog.NewExecutionStreamWith(cfg.Ingest, sh.rep, func(e wlog.Execution) error {
@@ -108,6 +111,7 @@ func (sh *shard) ingest(ctx context.Context, events []wlog.Event) (ShardResult, 
 	res := ShardResult{Shard: sh.id, Events: len(events)}
 	if err := ctx.Err(); err != nil {
 		res.Rejected = "deadline"
+		sh.met.reject("deadline")
 		return res, err
 	}
 
@@ -124,6 +128,7 @@ func (sh *shard) ingest(ctx context.Context, events []wlog.Event) (ShardResult, 
 		if open := sh.stream.OpenExecutions(); open+len(fresh) > sh.maxOpen {
 			res.Open = open
 			res.Rejected = fmt.Sprintf("%d open + %d new executions > budget %d", open, len(fresh), sh.maxOpen)
+			sh.met.reject("overload")
 			return res, errShardOverloaded
 		}
 	}
@@ -138,6 +143,7 @@ func (sh *shard) ingest(ctx context.Context, events []wlog.Event) (ShardResult, 
 	res.Degraded = degraded
 
 	before := countersOf(sh.rep)
+	execBefore := sh.miner.Executions()
 	var ingestErr error
 	for _, ev := range events {
 		if ingestErr = sh.stream.Push(ev); ingestErr != nil {
@@ -148,6 +154,7 @@ func (sh *shard) ingest(ctx context.Context, events []wlog.Event) (ShardResult, 
 		ingestErr = sh.stream.EmitCompleted()
 	}
 	after := countersOf(sh.rep)
+	sh.met.ingestDelta(len(events), before, after, sh.miner.Executions()-execBefore)
 
 	res.Skipped = after.skipped - before.skipped
 	res.Quarantined = after.quarantined - before.quarantined

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -58,21 +60,52 @@ func modelDigest(s *core.MinerSnapshot) (string, error) {
 
 // snapshotter persists shard checkpoints under one directory, one file per
 // shard, written atomically (temp file + fsync + rename) so a crash mid-write
-// leaves the previous checkpoint intact.
+// leaves the previous checkpoint intact. Saves and loads record their
+// duration and byte size on the per-shard histograms and emit slog
+// lifecycle events; both happen outside any shard mutex, so the file I/O
+// here never blocks ingest.
 type snapshotter struct {
-	dir string
+	dir   string
+	met   *serveMetrics // may be nil (tests constructing snapshotters directly)
+	log   *slog.Logger  // may be nil
+	clock Clock
 }
 
 // newSnapshotter ensures the snapshot directory exists. An empty dir
 // disables persistence.
-func newSnapshotter(dir string) (*snapshotter, error) {
+func newSnapshotter(dir string, met *serveMetrics, log *slog.Logger, clock Clock) (*snapshotter, error) {
+	sn := &snapshotter{dir: dir, met: met, log: log, clock: clock}
+	if clock == nil {
+		sn.clock = systemClock{}
+	}
 	if dir == "" {
-		return &snapshotter{}, nil
+		return sn, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
 	}
-	return &snapshotter{dir: dir}, nil
+	return sn, nil
+}
+
+// shardMet returns the shard's series, or nil when metrics are absent or
+// the index is out of the instrumented range.
+func (sn *snapshotter) shardMet(shard int) *shardMetrics {
+	if sn.met == nil || shard < 0 || shard >= len(sn.met.shards) {
+		return nil
+	}
+	return &sn.met.shards[shard]
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (sn *snapshotter) enabled() bool { return sn.dir != "" }
@@ -86,6 +119,7 @@ func (sn *snapshotter) save(shard, shards int, miner *core.MinerSnapshot, open [
 	if !sn.enabled() {
 		return nil
 	}
+	start := sn.clock.Now()
 	digest, err := modelDigest(miner)
 	if err != nil {
 		return fmt.Errorf("serve: snapshot shard %d: digest: %w", shard, err)
@@ -104,7 +138,8 @@ func (sn *snapshotter) save(shard, shards int, miner *core.MinerSnapshot, open [
 		return fmt.Errorf("serve: snapshot shard %d: %w", shard, err)
 	}
 	tmp := f.Name()
-	enc := json.NewEncoder(f)
+	cw := &countingWriter{w: f}
+	enc := json.NewEncoder(cw)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&snap); err == nil {
 		err = f.Sync()
@@ -123,6 +158,16 @@ func (sn *snapshotter) save(shard, shards int, miner *core.MinerSnapshot, open [
 		_ = os.Remove(tmp)
 		return fmt.Errorf("serve: snapshot shard %d: publish: %w", shard, err)
 	}
+	elapsed := sn.clock.Now().Sub(start).Seconds()
+	if sm := sn.shardMet(shard); sm != nil {
+		sm.snapSaveSec.Observe(elapsed)
+		sm.snapSaveB.Observe(float64(cw.n))
+	}
+	if sn.log != nil {
+		sn.log.Info("snapshot saved",
+			"shard", shard, "executions", snap.Executions, "open", len(open),
+			"bytes", cw.n, "duration_seconds", elapsed)
+	}
 	return nil
 }
 
@@ -132,6 +177,7 @@ func (sn *snapshotter) load(shard, shards int) (*shardSnapshot, error) {
 	if !sn.enabled() {
 		return nil, nil
 	}
+	start := sn.clock.Now()
 	data, err := os.ReadFile(sn.path(shard))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
@@ -163,6 +209,16 @@ func (sn *snapshotter) load(shard, shards int) (*shardSnapshot, error) {
 	if digest != snap.ModelSHA256 {
 		return nil, fmt.Errorf("serve: restore shard %d: %w: model digest %s, recorded %s",
 			shard, ErrSnapshotIntegrity, digest, snap.ModelSHA256)
+	}
+	elapsed := sn.clock.Now().Sub(start).Seconds()
+	if sm := sn.shardMet(shard); sm != nil {
+		sm.snapLoadSec.Observe(elapsed)
+		sm.snapLoadB.Observe(float64(len(data)))
+	}
+	if sn.log != nil {
+		sn.log.Info("snapshot restored",
+			"shard", shard, "executions", snap.Executions, "open", len(snap.Open),
+			"bytes", len(data), "duration_seconds", elapsed)
 	}
 	return &snap, nil
 }
