@@ -1,9 +1,9 @@
-// Command procmine-vet runs the procmine static-analysis suite: the ten
+// Command procmine-vet runs the procmine static-analysis suite: the eleven
 // go/analysis-style passes that mechanically enforce the invariants the
 // paper's conformality and determinism guarantees rest on (see DESIGN.md,
-// "Static analysis invariants"), including the three interprocedural
-// passes built on the module call graph (lockheldblocking, ctxleak,
-// hotalloc).
+// "Static analysis invariants"), including the interprocedural passes built
+// on the module call graph (lockheldblocking, ctxleak, hotalloc, and the
+// lock-order deadlock detector lockorder).
 //
 // Standalone, over package patterns:
 //
@@ -25,13 +25,23 @@
 // than silently re-admitting its regression later.
 //
 // With -json, standalone findings (and -baseline check regressions) are
-// emitted as a JSON array of {file, line, pass, message} objects for CI
-// annotation tooling. Adding -timing changes the JSON shape to an object
-// {"findings": [...], "timing": {...}} carrying per-pass wall time and
-// diagnostic counts; without -json, -timing prints the table to stderr.
-// -graph FILE writes the module call graph as Graphviz DOT ("-" for
-// stdout); unresolved call edges carry kind="unresolved", which CI greps to
-// keep the service layer fully analyzable.
+// emitted as a JSON array of {file, line, col, pass, message} objects,
+// sorted by (file, line, col, pass), for CI annotation tooling. Adding
+// -timing changes the JSON shape to an object
+// {"findings": [...], "timing": {...}} carrying per-pass wall time,
+// diagnostic counts, cache hit/typecheck counts, and coverage counters;
+// without -json, -timing prints the table to stderr. -stats prints each
+// pass's coverage counters (sites skipped as unanalyzable, see
+// analysis.Pass.Count) to stderr. -graph FILE writes the module call graph
+// as Graphviz DOT ("-" for stdout); unresolved call edges carry
+// kind="unresolved", which CI greps to keep the service layer fully
+// analyzable.
+//
+// -cache DIR enables the driver's per-package content-hash cache: packages
+// whose sources, in-module dependency closure, toolchain, and analyzer
+// binary are all unchanged replay their findings without being re-parsed
+// or re-type-checked, and a warm rerun's output is byte-identical to the
+// cold run's.
 //
 // Exit status: 0 when clean, 1 when any pass reports a finding (or any
 // non-baselined finding under -baseline check), 2 when loading or
@@ -48,6 +58,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"procmine/internal/analysis"
@@ -60,6 +71,7 @@ import (
 	"procmine/internal/analysis/passes/hotalloc"
 	"procmine/internal/analysis/passes/lockbalance"
 	"procmine/internal/analysis/passes/lockheldblocking"
+	"procmine/internal/analysis/passes/lockorder"
 	"procmine/internal/analysis/passes/mapiterorder"
 	"procmine/internal/analysis/passes/noglobals"
 	"procmine/internal/analysis/passes/sharedcapture"
@@ -68,7 +80,7 @@ import (
 )
 
 // suite returns the full pass list: seven intra-function passes and the
-// three interprocedural ones built on the call-graph summaries.
+// four interprocedural ones built on the call-graph summaries.
 func suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer(),
@@ -77,6 +89,7 @@ func suite() []*analysis.Analyzer {
 		hotalloc.Analyzer(),
 		lockbalance.Analyzer(),
 		lockheldblocking.Analyzer(),
+		lockorder.Analyzer(),
 		mapiterorder.Analyzer(),
 		noglobals.Analyzer(),
 		sharedcapture.Analyzer(),
@@ -103,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flagsFlag := fs.Bool("flags", false, "describe flags as JSON and exit (cmd/go vet-tool protocol)")
 	baselineFlag := fs.String("baseline", "", "baseline mode: 'write' records current findings to the baseline file, 'check' fails only on findings the baseline does not accept")
 	timingFlag := fs.Bool("timing", false, "report per-pass wall time and diagnostic counts (table on stderr, or embedded in -json output)")
+	statsFlag := fs.Bool("stats", false, "report per-pass coverage counters — sites skipped as unanalyzable — on stderr")
+	cacheFlag := fs.String("cache", "", "cache directory for per-package analysis results; unchanged packages replay instead of re-type-checking")
 	graphFlag := fs.String("graph", "", "write the module call graph as Graphviz DOT to this file ('-' for stdout)")
 	fs.Usage = func() {
 		say(stderr, "usage: procmine-vet [packages] | procmine-vet -baseline write|check [FILE.json] [packages] | procmine-vet <unit>.cfg\n")
@@ -140,7 +155,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(rest) == 0 {
 		rest = []string{"."}
 	}
-	res, err := driver.RunWithStats(rest, suite())
+	opts := driver.Options{CacheDir: *cacheFlag}
+	if opts.CacheDir != "" {
+		// Salt the cache with the binary's own content hash: rebuilding the
+		// tool (new pass logic over identical sources) must miss.
+		salt, err := exeHash()
+		if err != nil {
+			say(stderr, "procmine-vet: %v\n", err)
+			return 2
+		}
+		opts.Salt = salt
+	}
+	res, err := driver.RunWithOptions(rest, suite(), opts)
 	if err != nil {
 		say(stderr, "procmine-vet: %v\n", err)
 		return 2
@@ -183,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(regressed) > 0 {
 			say(stderr, "procmine-vet: %d finding(s) not accepted by %s\n", len(regressed), baselinePath)
 		}
-		status := emit(stdout, stderr, wd, regressed, *jsonFlag, *timingFlag, res.Stats)
+		status := emit(stdout, stderr, wd, regressed, *jsonFlag, *timingFlag, *statsFlag, res.Stats)
 		if status == 0 && len(stale) > 0 {
 			say(stderr, "procmine-vet: %s carries %d stale entr(y/ies); failing check until it is regenerated\n", baselinePath, len(stale))
 			return 1
@@ -191,15 +217,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return status
 	}
 
-	return emit(stdout, stderr, wd, findings, *jsonFlag, *timingFlag, res.Stats)
+	return emit(stdout, stderr, wd, findings, *jsonFlag, *timingFlag, *statsFlag, res.Stats)
 }
 
-// emit prints findings (and, when asked, the timing breakdown) in the
-// requested format and returns the exit status: 0 clean, 1 with findings.
-func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON, timing bool, stats driver.Stats) int {
+// emit prints findings (and, when asked, the timing breakdown and coverage
+// counters) in the requested format and returns the exit status: 0 clean,
+// 1 with findings.
+func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON, timing, counters bool, stats driver.Stats) int {
 	status := 0
 	if len(findings) > 0 {
 		status = 1
+	}
+	if counters {
+		printCounters(stderr, stats)
 	}
 	if !asJSON {
 		driver.Format(stdout, wd, findings)
@@ -211,6 +241,7 @@ func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON
 	type jsonFinding struct {
 		File    string `json:"file"`
 		Line    int    `json:"line"`
+		Col     int    `json:"col"`
 		Pass    string `json:"pass"`
 		Message string `json:"message"`
 	}
@@ -223,6 +254,7 @@ func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON
 		out = append(out, jsonFinding{
 			File:    filepath.ToSlash(name),
 			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
 			Pass:    f.Analyzer,
 			Message: f.Message,
 		})
@@ -247,9 +279,34 @@ func emit(stdout, stderr io.Writer, wd string, findings []driver.Finding, asJSON
 
 // printTiming renders the per-pass table, slowest pass visible at a glance.
 func printTiming(w io.Writer, stats driver.Stats) {
-	say(w, "procmine-vet: timing over %d package(s):\n", stats.Packages)
+	say(w, "procmine-vet: timing over %d package(s) (%d cache hit(s), %d type-checked):\n",
+		stats.Packages, stats.CacheHits, stats.Typechecked)
 	for _, p := range stats.Passes {
 		say(w, "  %-18s %9.1fms  %d finding(s)\n", p.Pass, p.Millis, p.Findings)
+	}
+}
+
+// printCounters renders each pass's coverage counters — how often it
+// silently skipped a site it could not reason about, e.g. a mutex behind a
+// non-canonicalizable receiver expression.
+func printCounters(w io.Writer, stats driver.Stats) {
+	total := 0
+	for _, p := range stats.Passes {
+		if len(p.Counters) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(p.Counters))
+		for name := range p.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			say(w, "procmine-vet: stats: %s: %s = %d\n", p.Pass, name, p.Counters[name])
+			total++
+		}
+	}
+	if total == 0 {
+		say(w, "procmine-vet: stats: no sites skipped\n")
 	}
 }
 
@@ -303,15 +360,31 @@ func printVersion(stdout, stderr io.Writer, mode string) int {
 		say(stderr, "procmine-vet: unsupported flag value -V=%s\n", mode)
 		return 2
 	}
+	sum, err := exeHash()
+	if err != nil {
+		say(stderr, "procmine-vet: %v\n", err)
+		return 2
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		say(stderr, "procmine-vet: %v\n", err)
 		return 2
 	}
+	say(stdout, "%s version procmine-vet buildID=%s\n", exe, sum)
+	return 0
+}
+
+// exeHash is the sha256 of the running binary, hex-encoded. It doubles as
+// the -V=full build ID and the -cache key salt: both must change exactly
+// when the tool's behavior might.
+func exeHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
 	f, err := os.Open(exe)
 	if err != nil {
-		say(stderr, "procmine-vet: %v\n", err)
-		return 2
+		return "", err
 	}
 	h := sha256.New()
 	_, cerr := io.Copy(h, f)
@@ -319,9 +392,7 @@ func printVersion(stdout, stderr io.Writer, mode string) int {
 		cerr = err
 	}
 	if cerr != nil {
-		say(stderr, "procmine-vet: %v\n", cerr)
-		return 2
+		return "", cerr
 	}
-	say(stdout, "%s version procmine-vet buildID=%x\n", exe, h.Sum(nil))
-	return 0
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }

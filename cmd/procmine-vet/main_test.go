@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -137,5 +138,97 @@ func TestBaselineRoundTrip(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{"-baseline", "check", path, "."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-baseline check exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestJSONColAndOrder pins the -json contract: every finding carries a
+// 1-based column and the array is sorted by (file, line, col, pass). The
+// fixture module seeds a leaked Lock, an ABBA lock-order cycle, and a
+// mutex behind a map index — the latter producing no finding but a
+// skipped-noncanonical-receiver counter, which -stats must surface.
+func TestJSONColAndOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module jsontest\n\ngo 1.22\n",
+		"internal/m/m.go": `package m
+
+import "sync"
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func Leak(t *T) {
+	t.a.Lock()
+}
+
+func AB(t *T) {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.b.Lock()
+	t.b.Unlock()
+}
+
+func BA(t *T) {
+	t.b.Lock()
+	defer t.b.Unlock()
+	t.a.Lock()
+	t.a.Unlock()
+}
+
+func Skip(ms map[string]*sync.Mutex) {
+	ms["k"].Lock()
+	ms["k"].Unlock()
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "-stats", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (seeded findings)\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	var out []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &out); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, stdout.String())
+	}
+	if len(out) < 2 {
+		t.Fatalf("got %d findings, want at least the leak and the cycle:\n%s", len(out), stdout.String())
+	}
+	for i, f := range out {
+		if f.Col < 1 {
+			t.Errorf("finding %d has no column: %+v", i, f)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		a, b := out[i-1], out[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", a.File, a.Line, a.Col, a.Pass)
+		kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", b.File, b.Line, b.Col, b.Pass)
+		if ka > kb {
+			t.Errorf("findings out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+	if !strings.Contains(stderr.String(), "skipped-noncanonical-receiver") {
+		t.Errorf("-stats output missing the skip counter:\n%s", stderr.String())
 	}
 }

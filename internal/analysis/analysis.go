@@ -31,6 +31,26 @@ type Analyzer struct {
 	// Run applies the pass to one package, reporting findings via
 	// pass.Report or pass.Reportf.
 	Run func(*Pass) error
+	// RunModule, when non-nil, marks the analyzer as module-level: its
+	// findings in one package depend on code elsewhere in the module
+	// (hot-path reachability flows from importers to importees; lock-order
+	// cycles span arbitrary packages), so per-package findings cannot be
+	// cached against a package's own content hash. The driver calls
+	// RunModule once per run with the module-wide facts (a
+	// *callgraph.Graph) instead of caching Run's output; Run remains for
+	// the vettool protocol and analysistest, which are per-package by
+	// construction.
+	RunModule func(facts any) []ModuleFinding
+}
+
+// ModuleFinding is one diagnostic from a module-level analyzer: already
+// positioned, because a module run has no single Fset-backed package
+// context to defer rendering to.
+type ModuleFinding struct {
+	// Pos locates the finding (rendered).
+	Pos token.Position
+	// Message states the violation.
+	Message string
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -57,6 +77,10 @@ type Pass struct {
 	// it type-assert and treat a nil or missing graph as "no
 	// interprocedural information", reporting nothing rather than guessing.
 	Facts any
+	// Counters accumulates named coverage counters (see Count): how often
+	// the pass skipped a site it could not reason about. The driver
+	// aggregates them per pass for -stats and the -timing JSON.
+	Counters map[string]int
 
 	diagnostics []Diagnostic
 }
@@ -84,6 +108,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Diagnostics returns the findings reported so far, in report order.
 func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Count increments a named coverage counter. Passes use it where they
+// silently skip a site — a non-canonicalizable mutex receiver, say — so
+// the coverage gap is measurable instead of invisible.
+func (p *Pass) Count(name string) {
+	if p.Counters == nil {
+		p.Counters = make(map[string]int)
+	}
+	p.Counters[name]++
+}
 
 // Run applies a to pkg and returns its findings with suppression
 // directives (see suppress.go) already applied.

@@ -60,7 +60,8 @@ func RunUnscoped(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string)
 	}
 }
 
-func runPackage(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer, forceScope bool) {
+// loadPackage parses and type-checks one fixture package.
+func loadPackage(t *testing.T, pkgDir, pkgPath string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
 	t.Helper()
 	fset := token.NewFileSet()
 	entries, err := os.ReadDir(pkgDir)
@@ -92,6 +93,23 @@ func runPackage(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer, forc
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
 	}
+	return fset, files, tpkg, info
+}
+
+// BuildFixtureGraph type-checks one fixture package under dir/src and
+// returns its summarized call graph, for tests that drive module-level
+// (RunModule) entry points directly.
+func BuildFixtureGraph(t *testing.T, dir, pkg string) *callgraph.Graph {
+	t.Helper()
+	fset, files, tpkg, info := loadPackage(t, filepath.Join(dir, "src", pkg), pkg)
+	g := callgraph.Build(fset, []callgraph.Package{{Files: files, Pkg: tpkg, Info: info}})
+	g.ComputeSummaries()
+	return g
+}
+
+func runPackage(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer, forceScope bool) {
+	t.Helper()
+	fset, files, tpkg, info := loadPackage(t, pkgDir, pkgPath)
 	// Every fixture run gets an interprocedural view of itself, exactly as
 	// the real driver provides one, so the graph-consuming passes are
 	// testable with the same harness as the intra-function ones.

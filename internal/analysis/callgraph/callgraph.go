@@ -95,6 +95,10 @@ type Call struct {
 	Site *ast.CallExpr
 	// Pos locates the call.
 	Pos token.Pos
+	// Position is Pos rendered against the building FileSet. Skeleton
+	// nodes reconstructed from a facts cache carry only Position (Pos is
+	// zero there), so position-dependent consumers must read this field.
+	Position token.Position
 	// InLoop reports the call is lexically inside a for/range statement of
 	// its innermost enclosing function body (declaration or literal).
 	InLoop bool
@@ -122,6 +126,9 @@ type Call struct {
 type AllocSite struct {
 	// Pos locates the allocation.
 	Pos token.Pos
+	// Position is Pos rendered against the building FileSet (see
+	// Call.Position).
+	Position token.Position
 	// What names the allocation form for diagnostics.
 	What string
 	// InLoop reports the site is lexically inside a for/range statement of
@@ -164,6 +171,24 @@ type Function struct {
 
 	blockOps []blockOp      // local channel/select operations
 	lockNet  map[string]int // relative mutex path -> #Lock - #Unlock
+
+	// lockSites are the declaration body's Lock/RLock acquisition sites
+	// (literal-attached, deferred, and go-detached acquisitions excluded),
+	// the raw material of the lock-order analysis in lockorder.go.
+	lockSites []LockSite
+	// litLockClasses are the lock classes acquired inside non-detached
+	// attached function literals; they contribute to AllAcquires but open
+	// no held region of their own (the literal has no CFG slot here).
+	litLockClasses map[string]bool
+
+	// info is the declaring package's type information, retained so
+	// ComputeSummaries can run the CFG-based held-set analysis. Nil for
+	// skeleton nodes reconstructed from a facts cache.
+	info *types.Info
+	// skeleton marks a node rebuilt from serialized NodeFacts: its Summary
+	// is final (computed by an earlier run over identical sources) and the
+	// fixpoint must treat it as a fixed input, never a variable.
+	skeleton bool
 }
 
 // Summary is the per-function fact set propagated bottom-up over SCCs.
@@ -193,6 +218,17 @@ type Summary struct {
 	Acquires []string `json:"acquires,omitempty"`
 	// Releases lists paths the function net-releases.
 	Releases []string `json:"releases,omitempty"`
+	// AllAcquires lists the global lock classes (see LockClassOf) this
+	// function may acquire, directly or through any non-detached,
+	// non-deferred static callee, sorted.
+	AllAcquires []string `json:"allAcquires,omitempty"`
+	// AcqWitness explains, per class in AllAcquires, how the function
+	// reaches an acquisition ("locks (serve.shard).mu" or "calls
+	// (serve.shard).stats, which locks (serve.shard).mu").
+	AcqWitness map[string]string `json:"acqWitness,omitempty"`
+	// Pairs are the ordered acquisition pairs observed in this function's
+	// body: Second was (may-)acquired while First was held.
+	Pairs []LockPair `json:"lockPairs,omitempty"`
 }
 
 // Package is one analyzed package handed to Build. All packages must share
@@ -225,47 +261,78 @@ const HotAnnotation = "//procmine:hot"
 // Build constructs the call graph of the given packages. Summaries are not
 // computed; call ComputeSummaries after installing any imported summaries.
 func Build(fset *token.FileSet, pkgs []Package) *Graph {
-	g := &Graph{
-		Fset:      fset,
-		Functions: make(map[string]*Function),
-		Imported:  make(map[string]Summary),
-	}
+	g := NewGraph(fset)
 	analyzed := make(map[string]bool, len(pkgs))
 	for _, p := range pkgs {
 		analyzed[p.Pkg.Path()] = true
 	}
 	for _, p := range pkgs {
-		for _, file := range p.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				fn := &Function{
-					Key:      FuncKey(obj),
-					Obj:      obj,
-					Decl:     fd,
-					PkgPath:  p.Pkg.Path(),
-					Hot:      hasHotAnnotation(fd),
-					TakesCtx: takesCtx(obj),
-					lockNet:  make(map[string]int),
-				}
-				sc := &scanner{g: g, fn: fn, info: p.Info, analyzed: analyzed}
-				sc.block(fd.Body, scanCtx{})
-				g.Functions[fn.Key] = fn
+		g.Install(ScanPackage(fset, p, analyzed))
+	}
+	g.Finalize()
+	return g
+}
+
+// NewGraph returns an empty graph over fset. Callers add nodes with Install
+// (or AddSkeleton) and must call Finalize before using the graph.
+func NewGraph(fset *token.FileSet) *Graph {
+	return &Graph{
+		Fset:      fset,
+		Functions: make(map[string]*Function),
+		Imported:  make(map[string]Summary),
+	}
+}
+
+// ScanPackage scans one package's declarations into call-graph nodes.
+// analyzed is the full set of import paths that will be part of the graph
+// (fresh or skeleton): calls into it are static edges, calls outside it are
+// external. The scan touches only p and fset, so distinct packages can be
+// scanned concurrently as long as they share fset.
+func ScanPackage(fset *token.FileSet, p Package, analyzed map[string]bool) []*Function {
+	var out []*Function
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn := &Function{
+				Key:      FuncKey(obj),
+				Obj:      obj,
+				Decl:     fd,
+				PkgPath:  p.Pkg.Path(),
+				Hot:      hasHotAnnotation(fd),
+				TakesCtx: takesCtx(obj),
+				lockNet:  make(map[string]int),
+				info:     p.Info,
+			}
+			sc := &scanner{fset: fset, fn: fn, info: p.Info, analyzed: analyzed}
+			sc.block(fd.Body, scanCtx{})
+			out = append(out, fn)
 		}
 	}
+	return out
+}
+
+// Install adds scanned nodes to the graph.
+func (g *Graph) Install(fns []*Function) {
+	for _, fn := range fns {
+		g.Functions[fn.Key] = fn
+	}
+}
+
+// Finalize sorts the node index; call it once after all Install/AddSkeleton
+// calls and before ComputeSummaries or traversal.
+func (g *Graph) Finalize() {
 	g.Keys = make([]string, 0, len(g.Functions))
 	for k := range g.Functions {
 		g.Keys = append(g.Keys, k)
 	}
 	sort.Strings(g.Keys)
-	return g
 }
 
 // HotReachable returns the set of function keys reachable from
@@ -411,7 +478,7 @@ type scanCtx struct {
 
 // scanner walks one declaration body (and its literals) collecting facts.
 type scanner struct {
-	g        *Graph
+	fset     *token.FileSet
 	fn       *Function
 	info     *types.Info
 	analyzed map[string]bool
@@ -502,7 +569,8 @@ func (s *scanner) block(n ast.Node, c scanCtx) {
 		return
 	case *ast.CompositeLit:
 		s.fn.Allocs = append(s.fn.Allocs, AllocSite{
-			Pos: n.Pos(), What: "composite literal", InLoop: c.inLoop, FromLit: c.fromLit,
+			Pos: n.Pos(), Position: s.fset.Position(n.Pos()),
+			What: "composite literal", InLoop: c.inLoop, FromLit: c.fromLit,
 		})
 		for _, e := range n.Elts {
 			s.block(e, c)
@@ -580,7 +648,8 @@ func (s *scanner) callWith(call *ast.CallExpr, c scanCtx, detached, deferred boo
 			switch b.Name() {
 			case "make", "new", "append":
 				s.fn.Allocs = append(s.fn.Allocs, AllocSite{
-					Pos: call.Pos(), What: b.Name(), InLoop: c.inLoop, FromLit: c.fromLit,
+					Pos: call.Pos(), Position: s.fset.Position(call.Pos()),
+					What: b.Name(), InLoop: c.inLoop, FromLit: c.fromLit,
 				})
 			}
 			for _, a := range call.Args {
@@ -591,7 +660,7 @@ func (s *scanner) callWith(call *ast.CallExpr, c scanCtx, detached, deferred boo
 	}
 
 	cl := Call{
-		Site: call, Pos: call.Pos(),
+		Site: call, Pos: call.Pos(), Position: s.fset.Position(call.Pos()),
 		InLoop: c.inLoop, FromLit: c.fromLit, Detached: detached || c.detached, Deferred: deferred,
 	}
 	for _, a := range call.Args {
@@ -628,6 +697,26 @@ func (s *scanner) callWith(call *ast.CallExpr, c scanCtx, detached, deferred boo
 					s.fn.lockNet[rel]++
 				case syncops.Unlock, syncops.RUnlock:
 					s.fn.lockNet[rel]--
+				}
+			}
+			// Acquisitions also feed the lock-order analysis, keyed on
+			// their global lock class. Detached acquisitions belong to
+			// another goroutine's order; deferred ones run at exit, after
+			// everything they could pair with.
+			if (op.Kind == syncops.Lock || op.Kind == syncops.RLock) && !cl.Detached && !deferred {
+				class, classable := LockClassOf(s.info, op.Recv)
+				if c.fromLit {
+					if classable {
+						if s.fn.litLockClasses == nil {
+							s.fn.litLockClasses = make(map[string]bool)
+						}
+						s.fn.litLockClasses[class] = true
+					}
+				} else {
+					s.fn.lockSites = append(s.fn.lockSites, LockSite{
+						Class: class, Key: op.Key, Kind: op.Kind,
+						Call: call, Pos: call.Pos(), Position: s.fset.Position(call.Pos()),
+					})
 				}
 			}
 		}

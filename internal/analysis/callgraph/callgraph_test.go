@@ -126,6 +126,54 @@ func TestGoldenGraph(t *testing.T) {
 	}
 }
 
+// TestMethodValues pins the resolve-or-unresolved contract for method
+// values: `f := s.Method; f()` loses the callee syntactically and must
+// surface as an unresolved edge (counted by the -graph unresolved gate,
+// never misattributed), whether invoked plainly or deferred; deferring the
+// method directly keeps a static edge with the Deferred flag.
+func TestMethodValues(t *testing.T) {
+	g := buildFixture(t, "methodval")
+
+	val := fn(t, g, "methodval.Value")
+	var unresolved, static bool
+	for _, c := range val.Calls {
+		if c.Kind == EdgeUnresolved {
+			unresolved = true
+		}
+		if c.Callee == "(methodval.S).Target" {
+			static = true
+		}
+	}
+	if !unresolved {
+		t.Errorf("Value: method-value call not unresolved; calls %v", edges(val))
+	}
+	if static {
+		t.Errorf("Value: method-value call misattributed to Target; calls %v", edges(val))
+	}
+
+	dv := fn(t, g, "methodval.DeferredValue")
+	var deferredUnresolved bool
+	for _, c := range dv.Calls {
+		if c.Kind == EdgeUnresolved && c.Deferred {
+			deferredUnresolved = true
+		}
+	}
+	if !deferredUnresolved {
+		t.Errorf("DeferredValue: deferred method value not an unresolved deferred edge; calls %+v", dv.Calls)
+	}
+
+	dm := fn(t, g, "methodval.DeferredMethod")
+	var deferredStatic bool
+	for _, c := range dm.Calls {
+		if c.Kind == EdgeStatic && c.Deferred && c.Callee == "(methodval.S).Target" {
+			deferredStatic = true
+		}
+	}
+	if !deferredStatic {
+		t.Errorf("DeferredMethod: direct deferred method not a static deferred edge; calls %+v", dm.Calls)
+	}
+}
+
 func TestSummaryFixpoint(t *testing.T) {
 	g := buildFixture(t, "golden")
 

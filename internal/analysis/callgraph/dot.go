@@ -64,6 +64,44 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 			b.WriteString("];\n")
 		}
 	}
+	// Lock-order section: one ellipse node per lock class, one edge per
+	// observed acquisition order, red when the edge sits on a cycle. The
+	// section is empty (and absent) when no ordered pairs exist.
+	if edges := g.LockOrderEdges(); len(edges) > 0 {
+		onCycle := make(map[[2]string]bool)
+		for _, c := range g.LockCycles() {
+			for _, e := range c.Edges {
+				onCycle[[2]string{e.First, e.Second}] = true
+			}
+		}
+		b.WriteString("\tsubgraph cluster_lockorder {\n")
+		b.WriteString("\t\tlabel=\"lock order\";\n")
+		b.WriteString("\t\tnode [shape=ellipse, fontsize=10];\n")
+		classes := make(map[string]bool)
+		var order []string
+		note := func(cls string) {
+			if !classes[cls] {
+				classes[cls] = true
+				order = append(order, cls)
+			}
+		}
+		for _, e := range edges {
+			note(e.First)
+			note(e.Second)
+		}
+		sort.Strings(order)
+		for _, cls := range order {
+			fmt.Fprintf(&b, "\t\t%q [label=%q];\n", "lock:"+cls, DisplayKey(cls))
+		}
+		for _, e := range edges {
+			fmt.Fprintf(&b, "\t\t%q -> %q [kind=\"lockorder\"", "lock:"+e.First, "lock:"+e.Second)
+			if onCycle[[2]string{e.First, e.Second}] {
+				b.WriteString(`, color=red, penwidth=2`)
+			}
+			b.WriteString("];\n")
+		}
+		b.WriteString("\t}\n")
+	}
 	b.WriteString("}\n")
 	_, err := io.WriteString(w, b.String())
 	return err

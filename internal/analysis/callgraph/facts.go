@@ -9,8 +9,9 @@ import (
 
 // FactsSchema versions the serialized summary format. Vetx files carrying a
 // different schema are ignored (treated as absent), which degrades to the
-// conservative no-effect default rather than failing the build.
-const FactsSchema = "procmine-vet-facts/v1"
+// conservative no-effect default rather than failing the build. v2 added
+// the lock-order fields (AllAcquires, AcqWitness, Pairs).
+const FactsSchema = "procmine-vet-facts/v2"
 
 // factsFile is the on-disk form: one package's function summaries, keyed
 // like Graph.Functions, written sorted for byte-stable output.

@@ -1,0 +1,103 @@
+package callgraph
+
+import "go/token"
+
+// This file serializes call-graph nodes into NodeFacts and rebuilds
+// "skeleton" nodes from them, which is what makes the driver's per-package
+// cache sound for the module-level passes: a cache hit skips parsing and
+// typechecking a package but still contributes its functions — calls,
+// allocation sites, final summaries — to the module-wide graph, so
+// hot-path reachability and the lock-order cycle detection always see the
+// whole module regardless of which packages were rebuilt.
+//
+// A skeleton node has no AST, no types.Info, and zero token.Pos values;
+// consumers that need locations read the rendered Position fields, and the
+// summary fixpoint treats the node's Summary as a final input (its sources
+// were byte-identical when it was computed, and all of its dependencies
+// were cache hits too, or the content hash would have missed).
+
+// NodeFacts is the serializable projection of one Function.
+type NodeFacts struct {
+	Key      string       `json:"key"`
+	PkgPath  string       `json:"pkgPath"`
+	Hot      bool         `json:"hot,omitempty"`
+	TakesCtx bool         `json:"takesCtx,omitempty"`
+	Calls    []CallFacts  `json:"calls,omitempty"`
+	Allocs   []AllocFacts `json:"allocs,omitempty"`
+	Summary  Summary      `json:"summary"`
+}
+
+// CallFacts is the serializable projection of one Call (the AST site and
+// raw Pos do not survive; Position does).
+type CallFacts struct {
+	Kind      EdgeKind       `json:"kind"`
+	Callee    string         `json:"callee"`
+	Position  token.Position `json:"position"`
+	InLoop    bool           `json:"inLoop,omitempty"`
+	FromLit   bool           `json:"fromLit,omitempty"`
+	Detached  bool           `json:"detached,omitempty"`
+	Deferred  bool           `json:"deferred,omitempty"`
+	PassesCtx bool           `json:"passesCtx,omitempty"`
+	RecvKey   string         `json:"recvKey,omitempty"`
+}
+
+// AllocFacts is the serializable projection of one AllocSite.
+type AllocFacts struct {
+	What     string         `json:"what"`
+	Position token.Position `json:"position"`
+	InLoop   bool           `json:"inLoop,omitempty"`
+	FromLit  bool           `json:"fromLit,omitempty"`
+}
+
+// Facts projects a function into its serializable form. Call it only after
+// ComputeSummaries: the summary it captures is treated as final on reload.
+func (fn *Function) Facts() NodeFacts {
+	nf := NodeFacts{
+		Key:      fn.Key,
+		PkgPath:  fn.PkgPath,
+		Hot:      fn.Hot,
+		TakesCtx: fn.TakesCtx,
+		Summary:  fn.Summary,
+	}
+	for _, c := range fn.Calls {
+		nf.Calls = append(nf.Calls, CallFacts{
+			Kind: c.Kind, Callee: c.Callee, Position: c.Position,
+			InLoop: c.InLoop, FromLit: c.FromLit, Detached: c.Detached,
+			Deferred: c.Deferred, PassesCtx: c.PassesCtx, RecvKey: c.RecvKey,
+		})
+	}
+	for _, a := range fn.Allocs {
+		nf.Allocs = append(nf.Allocs, AllocFacts{
+			What: a.What, Position: a.Position, InLoop: a.InLoop, FromLit: a.FromLit,
+		})
+	}
+	return nf
+}
+
+// AddSkeleton rebuilds cached nodes into the graph. Call Finalize after the
+// last AddSkeleton/Install.
+func (g *Graph) AddSkeleton(nodes []NodeFacts) {
+	for _, nf := range nodes {
+		fn := &Function{
+			Key:      nf.Key,
+			PkgPath:  nf.PkgPath,
+			Hot:      nf.Hot,
+			TakesCtx: nf.TakesCtx,
+			Summary:  nf.Summary,
+			skeleton: true,
+		}
+		for _, c := range nf.Calls {
+			fn.Calls = append(fn.Calls, Call{
+				Kind: c.Kind, Callee: c.Callee, Position: c.Position,
+				InLoop: c.InLoop, FromLit: c.FromLit, Detached: c.Detached,
+				Deferred: c.Deferred, PassesCtx: c.PassesCtx, RecvKey: c.RecvKey,
+			})
+		}
+		for _, a := range nf.Allocs {
+			fn.Allocs = append(fn.Allocs, AllocSite{
+				What: a.What, Position: a.Position, InLoop: a.InLoop, FromLit: a.FromLit,
+			})
+		}
+		g.Functions[fn.Key] = fn
+	}
+}

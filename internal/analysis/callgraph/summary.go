@@ -79,17 +79,28 @@ func (g *Graph) ComputeSummaries() {
 	// Witnesses after the booleans are final, so cycles terminate.
 	for _, k := range g.Keys {
 		fn := g.Functions[k]
+		if fn.skeleton {
+			continue
+		}
 		if fn.Summary.MayBlock && fn.Summary.BlockWitness == "" {
 			fn.Summary.BlockWitness = g.blockWitness(fn, map[string]bool{fn.Key: true}, 0)
 		}
 	}
+
+	// Lock-order facts ride on the finished summaries (the held-set
+	// analysis consults Releases of helper callees).
+	g.computeLockOrder()
 }
 
 // fixpoint iterates one SCC's summaries until stable.
 func (g *Graph) fixpoint(comp []string) {
-	// Seed each member from its local facts.
+	// Seed each member from its local facts. Skeleton nodes carry a final
+	// summary computed by an earlier run; they are inputs, never variables.
 	for _, k := range comp {
 		fn := g.Functions[k]
+		if fn.skeleton {
+			continue
+		}
 		s := &fn.Summary
 		s.TakesCtx = fn.TakesCtx
 		if len(fn.blockOps) > 0 {
@@ -141,6 +152,9 @@ func (g *Graph) fixpoint(comp []string) {
 		changed = false
 		for _, k := range comp {
 			fn := g.Functions[k]
+			if fn.skeleton {
+				continue
+			}
 			s := &fn.Summary
 			for _, c := range fn.Calls {
 				if c.Kind != EdgeStatic {
@@ -175,6 +189,9 @@ func (g *Graph) fixpoint(comp []string) {
 	// of callees, which is final by now.
 	for _, k := range comp {
 		fn := g.Functions[k]
+		if fn.skeleton {
+			continue
+		}
 		s := &fn.Summary
 		if !fn.TakesCtx {
 			continue

@@ -1,0 +1,27 @@
+// Fixture methodval pins how the scanner treats method values: binding a
+// method to a variable erases the callee from the call site's syntax, so
+// the later invocation must be an unresolved edge (never silently dropped,
+// never misattributed), while deferring the method directly stays a static
+// deferred edge.
+package methodval
+
+type S struct{}
+
+func (S) Target() {}
+
+// Value calls Target through a method value; the call is unresolved.
+func Value(s S) {
+	f := s.Target
+	f()
+}
+
+// DeferredValue defers a method value: unresolved and deferred.
+func DeferredValue(s S) {
+	f := s.Target
+	defer f()
+}
+
+// DeferredMethod defers the method directly: a static deferred edge.
+func DeferredMethod(s S) {
+	defer s.Target()
+}

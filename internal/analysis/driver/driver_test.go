@@ -1,6 +1,7 @@
 package driver_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,13 +16,31 @@ import (
 	"procmine/internal/analysis/passes/hotalloc"
 	"procmine/internal/analysis/passes/lockbalance"
 	"procmine/internal/analysis/passes/lockheldblocking"
+	"procmine/internal/analysis/passes/lockorder"
 	"procmine/internal/analysis/passes/mapiterorder"
 	"procmine/internal/analysis/passes/noglobals"
 	"procmine/internal/analysis/passes/sharedcapture"
 	"procmine/internal/analysis/passes/wgprotocol"
 )
 
-// TestSelfCheck runs the full ten-pass suite over the whole module and
+// suite is the full eleven-pass list, mirroring cmd/procmine-vet.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer(),
+		ctxleak.Analyzer(),
+		errlost.Analyzer(),
+		hotalloc.Analyzer(),
+		lockbalance.Analyzer(),
+		lockheldblocking.Analyzer(),
+		lockorder.Analyzer(),
+		mapiterorder.Analyzer(),
+		noglobals.Analyzer(),
+		sharedcapture.Analyzer(),
+		wgprotocol.Analyzer(),
+	}
+}
+
+// TestSelfCheck runs the full eleven-pass suite over the whole module and
 // requires it to be clean modulo the committed baseline: the invariants the
 // passes enforce hold in this tree, and CI keeps it that way. If this test
 // fails, either fix the reported site, suppress it with a reasoned
@@ -31,19 +50,7 @@ func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("invokes go list; skipped in -short mode")
 	}
-	suite := []*analysis.Analyzer{
-		ctxflow.Analyzer(),
-		ctxleak.Analyzer(),
-		errlost.Analyzer(),
-		hotalloc.Analyzer(),
-		lockbalance.Analyzer(),
-		lockheldblocking.Analyzer(),
-		mapiterorder.Analyzer(),
-		noglobals.Analyzer(),
-		sharedcapture.Analyzer(),
-		wgprotocol.Analyzer(),
-	}
-	findings, err := driver.Run([]string{"procmine/..."}, suite)
+	findings, err := driver.Run([]string{"procmine/..."}, suite())
 	if err != nil {
 		t.Fatalf("driver.Run: %v", err)
 	}
@@ -112,4 +119,191 @@ func TestRunFindsSeededViolation(t *testing.T) {
 			t.Errorf("unexpected finding %s", f)
 		}
 	}
+}
+
+// writeCacheModule lays out a synthetic two-package module with one
+// lock-order cycle (lockorder, module-level) and one leaked Lock
+// (lockbalance, per-package), the second package importing the first so the
+// cache key DAG has a real edge.
+func writeCacheModule(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"internal/x/x.go": `package x
+
+import "sync"
+
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+func (p *Pair) AB() {
+	p.A.Lock()
+	defer p.A.Unlock()
+	p.B.Lock()
+	p.B.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.B.Lock()
+	defer p.B.Unlock()
+	p.A.Lock()
+	p.A.Unlock()
+}
+
+func (p *Pair) Leak() {
+	p.A.Lock()
+}
+`,
+		"internal/y/y.go": `package y
+
+import "cachetest/internal/x"
+
+func Use(p *x.Pair) {
+	p.AB()
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheDeterminism pins the warm-cache contract: a rerun with nothing
+// changed type-checks zero packages and produces byte-identical findings —
+// the per-package ones replayed from cache entries, the module-level ones
+// (the lock-order cycle) recomputed from skeleton nodes alone.
+func TestCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	writeCacheModule(t, dir)
+	opts := driver.Options{
+		CacheDir: filepath.Join(dir, "vetcache"),
+		Salt:     "determinism-test",
+		Dir:      dir,
+	}
+	cold, err := driver.RunWithOptions([]string{"./..."}, suite(), opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.Typechecked != cold.Stats.Packages {
+		t.Errorf("cold run: cacheHits=%d typechecked=%d packages=%d, want 0/%d/%d",
+			cold.Stats.CacheHits, cold.Stats.Typechecked, cold.Stats.Packages,
+			cold.Stats.Packages, cold.Stats.Packages)
+	}
+	var haveOrder, haveBalance bool
+	for _, f := range cold.Findings {
+		switch f.Analyzer {
+		case "lockorder":
+			haveOrder = true
+		case "lockbalance":
+			haveBalance = true
+		}
+	}
+	if !haveOrder || !haveBalance {
+		t.Fatalf("cold run missing seeded findings (lockorder=%v lockbalance=%v):\n%v",
+			haveOrder, haveBalance, cold.Findings)
+	}
+
+	warm, err := driver.RunWithOptions([]string{"./..."}, suite(), opts)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warm.Stats.Typechecked != 0 {
+		t.Errorf("warm run type-checked %d package(s), want 0 (cache should have replayed all %d)",
+			warm.Stats.Typechecked, warm.Stats.Packages)
+	}
+	if warm.Stats.CacheHits != warm.Stats.Packages {
+		t.Errorf("warm run: cacheHits=%d, want %d", warm.Stats.CacheHits, warm.Stats.Packages)
+	}
+	coldJSON, err := json.Marshal(cold.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warm.Findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Errorf("warm-cache findings not byte-identical to cold run:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+}
+
+// TestCacheInvalidation edits the leaf package and requires both it and its
+// importer to miss (the dependent's key covers its dependency closure), and
+// the findings to track the new content — here, the cycle disappearing.
+func TestCacheInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	writeCacheModule(t, dir)
+	opts := driver.Options{
+		CacheDir: filepath.Join(dir, "vetcache"),
+		Salt:     "invalidation-test",
+		Dir:      dir,
+	}
+	if _, err := driver.RunWithOptions([]string{"./..."}, suite(), opts); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	// Break the cycle: BA now takes A then B, same as AB.
+	path := filepath.Join(dir, "internal", "x", "x.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src), `func (p *Pair) BA() {
+	p.B.Lock()
+	defer p.B.Unlock()
+	p.A.Lock()
+	p.A.Unlock()
+}`, `func (p *Pair) BA() {
+	p.A.Lock()
+	defer p.A.Unlock()
+	p.B.Lock()
+	p.B.Unlock()
+}`, 1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := driver.RunWithOptions([]string{"./..."}, suite(), opts)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if after.Stats.Typechecked != 2 {
+		t.Errorf("post-edit run type-checked %d package(s), want 2 (the edited leaf and its importer)",
+			after.Stats.Typechecked)
+	}
+	for _, f := range after.Findings {
+		if f.Analyzer == "lockorder" {
+			t.Errorf("lock-order cycle survived the fix: %s", f)
+		}
+	}
+	if n := countBy(after.Findings, "lockbalance"); n != 1 {
+		t.Errorf("post-edit lockbalance findings = %d, want the 1 seeded leak", n)
+	}
+}
+
+func countBy(findings []driver.Finding, pass string) int {
+	n := 0
+	for _, f := range findings {
+		if f.Analyzer == pass {
+			n++
+		}
+	}
+	return n
 }

@@ -82,9 +82,19 @@ type Op struct {
 // Classify reports whether call is a sync primitive operation with a
 // canonicalizable receiver.
 func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return Op{}, false
+	op, ok, _ := ClassifyDetailed(info, call)
+	return op, ok
+}
+
+// ClassifyDetailed is Classify plus coverage information: skipped reports
+// that call IS a sync-primitive operation but its receiver could not be
+// canonicalized (indexed, call-derived, …), so the caller is about to
+// silently lose a real lock site. Passes count those under -stats; for a
+// skipped op only Kind, Recv, and Call are populated.
+func ClassifyDetailed(info *types.Info, call *ast.CallExpr) (op Op, ok, skipped bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return Op{}, false, false
 	}
 	var obj types.Object
 	if s, ok := info.Selections[sel]; ok {
@@ -92,9 +102,9 @@ func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
 	} else {
 		obj = info.Uses[sel.Sel]
 	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return Op{}, false
+	fn, fnOK := obj.(*types.Func)
+	if !fnOK || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false, false
 	}
 	recvName := recvTypeName(fn)
 	var kind Kind
@@ -103,7 +113,7 @@ func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
 		// Mutex, RWMutex, or the Locker interface; excludes e.g. a
 		// same-named method on a non-sync type.
 		if recvName != "Mutex" && recvName != "RWMutex" && recvName != "Locker" {
-			return Op{}, false
+			return Op{}, false, false
 		}
 		kind = Lock
 		if fn.Name() == "Unlock" {
@@ -111,7 +121,7 @@ func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
 		}
 	case "RLock", "RUnlock":
 		if recvName != "RWMutex" {
-			return Op{}, false
+			return Op{}, false, false
 		}
 		kind = RLock
 		if fn.Name() == "RUnlock" {
@@ -119,7 +129,7 @@ func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
 		}
 	case "Add", "Done", "Wait":
 		if recvName != "WaitGroup" {
-			return Op{}, false
+			return Op{}, false, false
 		}
 		switch fn.Name() {
 		case "Add":
@@ -130,13 +140,13 @@ func Classify(info *types.Info, call *ast.CallExpr) (Op, bool) {
 			kind = Wait
 		}
 	default:
-		return Op{}, false
+		return Op{}, false, false
 	}
-	key, root, ok := KeyOf(info, sel.X)
-	if !ok {
-		return Op{}, false
+	key, root, keyOK := KeyOf(info, sel.X)
+	if !keyOK {
+		return Op{Kind: kind, Recv: sel.X, Call: call}, false, true
 	}
-	return Op{Kind: kind, Key: key, Root: root, Recv: sel.X, Call: call}, true
+	return Op{Kind: kind, Key: key, Root: root, Recv: sel.X, Call: call}, true, false
 }
 
 // recvTypeName is the name of fn's receiver type with pointers stripped, or

@@ -16,6 +16,7 @@
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -24,13 +25,60 @@ import (
 	"procmine/internal/analysis/callgraph"
 )
 
-// Analyzer returns the hotalloc pass.
+// Analyzer returns the hotalloc pass. It is module-level (RunModule):
+// whether a function is hot depends on //procmine:hot roots in its
+// importers, so per-package findings cannot be cached against the
+// package's own content — the driver recomputes them from the module graph
+// every run. Run remains for the per-package vettool protocol and
+// analysistest.
 func Analyzer() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "hotalloc",
-		Doc:  "forbids allocations inside loops of functions reachable from //procmine:hot roots",
-		Run:  run,
+		Name:      "hotalloc",
+		Doc:       "forbids allocations inside loops of functions reachable from //procmine:hot roots",
+		Run:       run,
+		RunModule: runModule,
 	}
+}
+
+// runModule is run over the module-wide graph: the same findings, minus the
+// per-package file loop (which exists only to scope Run to one package).
+func runModule(facts any) []analysis.ModuleFinding {
+	g, ok := facts.(*callgraph.Graph)
+	if !ok || g == nil {
+		return nil
+	}
+	hot := g.HotReachable()
+	if len(hot) == 0 {
+		return nil
+	}
+	var out []analysis.ModuleFinding
+	for _, k := range g.Keys {
+		if !hot[k] {
+			continue
+		}
+		fn := g.Functions[k]
+		for _, a := range fn.Allocs {
+			if !a.InLoop {
+				continue
+			}
+			out = append(out, analysis.ModuleFinding{Pos: a.Position, Message: fmt.Sprintf(
+				"%s allocates in a loop on the //procmine:hot path; hoist it out of the loop or reuse a buffer",
+				a.What)})
+		}
+		for _, c := range fn.Calls {
+			if !c.InLoop || c.Kind != callgraph.EdgeStatic {
+				continue
+			}
+			s := g.SummaryOf(c)
+			if !s.Allocates || s.AllocsInLoop {
+				continue
+			}
+			out = append(out, analysis.ModuleFinding{Pos: c.Position, Message: fmt.Sprintf(
+				"call to %s allocates, and this call sits in a loop on the //procmine:hot path; hoist the allocation out or pass in a buffer",
+				callgraph.DisplayKey(c.Callee))})
+		}
+	}
+	return out
 }
 
 // inScope covers the whole module; the hot set itself is opt-in via the

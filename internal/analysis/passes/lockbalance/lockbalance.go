@@ -81,8 +81,14 @@ func skipNode(n ast.Node) bool {
 }
 
 func checkAcquire(pass *analysis.Pass, g *cfg.CFG, b *cfg.Block, i int, call *ast.CallExpr) {
-	op, ok := syncops.Classify(pass.TypesInfo, call)
+	op, ok, skipped := syncops.ClassifyDetailed(pass.TypesInfo, call)
 	if !ok {
+		// A sync operation on a receiver the canonicalizer cannot key
+		// (indexed, call-derived) is a silent coverage gap; count it so
+		// -stats surfaces how much of the lock surface the pass can see.
+		if skipped {
+			pass.Count("skipped-noncanonical-receiver")
+		}
 		return
 	}
 	var want, wrong syncops.Kind

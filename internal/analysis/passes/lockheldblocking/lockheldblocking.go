@@ -99,8 +99,17 @@ func checkFunc(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function, 
 			}
 			blk, idx := b, i
 			cfg.EachCall(n, func(call *ast.CallExpr) {
-				op, ok := syncops.Classify(pass.TypesInfo, call)
-				if !ok || (op.Kind != syncops.Lock && op.Kind != syncops.RLock) {
+				op, ok, skipped := syncops.ClassifyDetailed(pass.TypesInfo, call)
+				if !ok {
+					if skipped && (op.Kind == syncops.Lock || op.Kind == syncops.RLock) {
+						// An acquisition the canonicalizer cannot key opens
+						// a region this pass cannot track; count the gap
+						// for -stats.
+						pass.Count("skipped-noncanonical-receiver")
+					}
+					return
+				}
+				if op.Kind != syncops.Lock && op.Kind != syncops.RLock {
 					return
 				}
 				checkRegion(pass, g, fn, rec, cg, blk, idx, op)
@@ -143,7 +152,7 @@ func checkRegion(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function
 			}
 			// A helper whose summary net-releases the mutex through its
 			// receiver ends the region too.
-			if c, ok := rec[call]; ok && releasesHeld(g, c, op.Key) {
+			if c, ok := rec[call]; ok && g.CallReleases(c, op.Key) {
 				ends = true
 			}
 		})
@@ -156,7 +165,7 @@ func checkRegion(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function
 		if c.FromLit || c.Detached || c.Deferred {
 			continue
 		}
-		deadlock := acquiresHeld(g, c, op.Key)
+		deadlock := g.CallAcquires(c, op.Key)
 		if !deadlock && !g.CallMayBlock(c) {
 			continue
 		}
@@ -193,27 +202,6 @@ func checkRegion(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Function
 	}
 }
 
-// releasesHeld reports whether c's callee net-releases the mutex identified
-// by heldKey through its receiver: the callee's summary lists a
-// receiver-relative release path whose root, substituted with the call's
-// receiver key, equals the held key.
-func releasesHeld(g *callgraph.Graph, c callgraph.Call, heldKey string) bool {
-	return summaryTouches(g.SummaryOf(c).Releases, c.RecvKey, heldKey)
-}
-
-// acquiresHeld is the acquisition-side counterpart of releasesHeld.
-func acquiresHeld(g *callgraph.Graph, c callgraph.Call, heldKey string) bool {
-	return summaryTouches(g.SummaryOf(c).Acquires, c.RecvKey, heldKey)
-}
-
-func summaryTouches(paths []string, recvKey, heldKey string) bool {
-	if recvKey == "" {
-		return false
-	}
-	for _, p := range paths {
-		if rest, ok := strings.CutPrefix(p, "recv"); ok && recvKey+rest == heldKey {
-			return true
-		}
-	}
-	return false
-}
+// The receiver-relative release/acquire matching lives on the graph now
+// (callgraph.Graph.CallReleases / CallAcquires), shared with the
+// lock-order analysis, which reuses exactly these helper semantics.

@@ -1,0 +1,115 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order. The callgraph layer condenses every function's ordered
+// acquisition pairs — lock B taken, directly or through any call chain,
+// while lock A is held — into a module-wide lock-order graph over global
+// lock classes; a cycle in that graph is a schedule where two goroutines
+// each hold what the other wants. The sharded serve layer is the motivating
+// surface: Server.mu, shard.mu, the breaker state, and the obs registry
+// locks all nest across call chains that no single function shows in full.
+//
+// Each cycle is reported once, with one witness chain per edge: for the
+// classic two-lock ABBA that is exactly the call path that takes A then B
+// and the path that takes B then A. The fix the message asks for is a
+// canonical acquisition order (or a lock split), never a baseline entry.
+//
+// Granularity caveats, both deliberate: classes collapse instances ("every
+// shard's mu" is one class), so self-consistent cross-instance nesting of
+// one class is out of scope here (lockheldblocking owns same-key
+// reacquisition); and held regions open only at syntactic Lock/RLock sites,
+// matching lockheldblocking's region semantics exactly — deferred unlocks
+// keep a region open, releasing helpers and matching non-deferred unlocks
+// close it.
+package lockorder
+
+import (
+	"go/token"
+	"strings"
+
+	"procmine/internal/analysis"
+	"procmine/internal/analysis/callgraph"
+)
+
+// Analyzer returns the lockorder pass. It is module-level (RunModule): a
+// cycle's edges can come from any two packages, so per-package findings
+// cannot be cached against one package's content. Run remains for the
+// vettool protocol and analysistest; there it reports a cycle at its least
+// edge position inside the current package (the module-wide driver anchors
+// at the globally least edge instead — in a clean tree the difference is
+// unobservable, and in a dirty one both report every cycle).
+func Analyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "lockorder",
+		Doc:       "detects lock-order cycles (potential ABBA deadlocks) across the module's call graph",
+		Run:       run,
+		RunModule: runModule,
+	}
+}
+
+// inScope mirrors the module-wide passes: everything in this module locks
+// something eventually.
+func inScope(pass *analysis.Pass) bool {
+	if pass.ForceScope {
+		return true
+	}
+	path := pass.Pkg.Path()
+	return strings.Contains(path, "internal/") || strings.HasPrefix(path, "procmine")
+}
+
+func runModule(facts any) []analysis.ModuleFinding {
+	g, ok := facts.(*callgraph.Graph)
+	if !ok || g == nil {
+		return nil
+	}
+	var out []analysis.ModuleFinding
+	for _, c := range g.LockCycles() {
+		out = append(out, analysis.ModuleFinding{
+			Pos:     c.Anchor(),
+			Message: callgraph.CycleMessage(c),
+		})
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	g, ok := pass.Facts.(*callgraph.Graph)
+	if !ok || g == nil {
+		return nil
+	}
+	files := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		files[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, c := range g.LockCycles() {
+		// Anchor at the least in-package edge; a cycle with no edge in
+		// this package belongs to whoever can see all of it (with facts
+		// files that is every importer of both sides).
+		var anchor token.Pos
+		var best token.Position
+		for _, e := range c.Edges {
+			if !files[e.Position.Filename] || !e.Pos.IsValid() {
+				continue
+			}
+			if anchor == token.NoPos || positionLess(e.Position, best) {
+				anchor, best = e.Pos, e.Position
+			}
+		}
+		if anchor == token.NoPos {
+			continue
+		}
+		pass.Reportf(anchor, "%s", callgraph.CycleMessage(c))
+	}
+	return nil
+}
+
+func positionLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

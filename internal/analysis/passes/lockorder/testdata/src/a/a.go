@@ -1,0 +1,27 @@
+// Fixture a: the classic two-lock ABBA inversion, distilled from the serve
+// layer's shape (a server-level mutex and a shard-level mutex). ab holds a
+// while taking b — under a deferred unlock, so the region runs to exit —
+// and ba holds b while taking a. The cycle is reported once, at its least
+// edge position (the b acquisition in ab), with both witness chains.
+package a
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want "potential deadlock: lock-order cycle \\(a\\.pair\\)\\.a -> \\(a\\.pair\\)\\.b -> \\(a\\.pair\\)\\.a: \\(a\\.pair\\)\\.ab locks \\(a\\.pair\\)\\.b while holding \\(a\\.pair\\)\\.a; but \\(a\\.pair\\)\\.ba locks \\(a\\.pair\\)\\.a while holding \\(a\\.pair\\)\\.b"
+	p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}

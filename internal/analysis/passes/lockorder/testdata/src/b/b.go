@@ -1,0 +1,37 @@
+// Fixture b: a three-lock cycle x -> y -> z -> x where the y -> z edge is
+// interprocedural — yz holds y and calls lockZ, which does the acquiring —
+// so the witness chain must name the call path, not just the function.
+package b
+
+import "sync"
+
+type state struct {
+	x sync.Mutex
+	y sync.Mutex
+	z sync.Mutex
+}
+
+func (s *state) xy() {
+	s.x.Lock()
+	defer s.x.Unlock()
+	s.y.Lock() // want "lock-order cycle \\(b\\.state\\)\\.x -> \\(b\\.state\\)\\.y -> \\(b\\.state\\)\\.z -> \\(b\\.state\\)\\.x.*\\(b\\.state\\)\\.yz holds \\(b\\.state\\)\\.y and calls \\(b\\.state\\)\\.lockZ, which locks \\(b\\.state\\)\\.z"
+	s.y.Unlock()
+}
+
+func (s *state) yz() {
+	s.y.Lock()
+	s.lockZ()
+	s.y.Unlock()
+}
+
+func (s *state) lockZ() {
+	s.z.Lock()
+	s.z.Unlock()
+}
+
+func (s *state) zx() {
+	s.z.Lock()
+	defer s.z.Unlock()
+	s.x.Lock()
+	s.x.Unlock()
+}

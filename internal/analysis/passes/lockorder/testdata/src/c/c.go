@@ -1,0 +1,29 @@
+// Fixture c: a release through a helper breaks the pair. ab drops a via
+// unlockA — whose summary net-releases recv.a — before taking b, so only
+// the b -> a edge exists and there is no cycle: the package is clean.
+package c
+
+import "sync"
+
+type box struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (x *box) unlockA() {
+	x.a.Unlock()
+}
+
+func (x *box) ab() {
+	x.a.Lock()
+	x.unlockA()
+	x.b.Lock()
+	x.b.Unlock()
+}
+
+func (x *box) ba() {
+	x.b.Lock()
+	x.a.Lock()
+	x.a.Unlock()
+	x.b.Unlock()
+}

@@ -1,0 +1,26 @@
+// Fixture d: the same ABBA as fixture a, silenced at its anchor line by a
+// reasoned suppression directive — the escape hatch for a deliberately
+// pinned ordering.
+package d
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	//lint:ignore procmine/lockorder ordering pinned by design review
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}

@@ -1,0 +1,24 @@
+// Fixture e: the fixture-a ABBA without want annotations, for the scope
+// test — out of scope, the cycle must be silent.
+package e
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -107,9 +108,14 @@ func parseDirective(text string) (directive, bool) {
 // by an own-line directive on the line immediately above. A directive
 // trailing some other statement does not reach down to the next line.
 func (s *Suppressions) Suppresses(fset *token.FileSet, d Diagnostic) bool {
-	pos := fset.Position(d.Pos)
+	return s.SuppressesAt(fset.Position(d.Pos), d.Analyzer)
+}
+
+// SuppressesAt is Suppresses for an already-rendered position — the form
+// module-level findings and cache-replayed suppressions work in.
+func (s *Suppressions) SuppressesAt(pos token.Position, analyzer string) bool {
 	for _, dir := range s.byFile[pos.Filename] {
-		if dir.analyzer != "" && dir.analyzer != d.Analyzer {
+		if dir.analyzer != "" && dir.analyzer != analyzer {
 			continue
 		}
 		if dir.line == pos.Line || (dir.ownLine && dir.line == pos.Line-1) {
@@ -117,4 +123,62 @@ func (s *Suppressions) Suppresses(fset *token.FileSet, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// SuppressionRecord is the serializable form of one directive, so a driver
+// cache can replay a package's suppressions without reparsing it.
+type SuppressionRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer,omitempty"`
+	OwnLine  bool   `json:"ownLine,omitempty"`
+}
+
+// Records flattens the index deterministically (by file, then line, then
+// analyzer).
+func (s *Suppressions) Records() []SuppressionRecord {
+	files := make([]string, 0, len(s.byFile))
+	for f := range s.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []SuppressionRecord
+	for _, f := range files {
+		for _, d := range s.byFile[f] {
+			out = append(out, SuppressionRecord{File: f, Line: d.line, Analyzer: d.analyzer, OwnLine: d.ownLine})
+		}
+		n := len(out) - len(s.byFile[f])
+		recs := out[n:]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Line != recs[j].Line {
+				return recs[i].Line < recs[j].Line
+			}
+			return recs[i].Analyzer < recs[j].Analyzer
+		})
+	}
+	return out
+}
+
+// SuppressionsFromRecords rebuilds an index from its serialized form.
+func SuppressionsFromRecords(recs []SuppressionRecord) *Suppressions {
+	s := &Suppressions{byFile: make(map[string][]directive)}
+	for _, r := range recs {
+		s.byFile[r.File] = append(s.byFile[r.File], directive{line: r.Line, analyzer: r.Analyzer, ownLine: r.OwnLine})
+	}
+	return s
+}
+
+// Merge folds other's directives into s.
+func (s *Suppressions) Merge(other *Suppressions) {
+	if other == nil {
+		return
+	}
+	for f, dirs := range other.byFile {
+		s.byFile[f] = append(s.byFile[f], dirs...)
+	}
+}
+
+// NewSuppressions returns an empty index, ready to Merge into.
+func NewSuppressions() *Suppressions {
+	return &Suppressions{byFile: make(map[string][]directive)}
 }
